@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Measurement (real instrumented runs) happens once per session through
+the ``repro.bench.workloads`` cache; the per-figure benchmarks then
+time the *replay* stage and print the regenerated table so a
+``pytest benchmarks/ --benchmark-only -s`` run shows every paper
+artifact alongside its timing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: keep the measured workloads small so the suite stays minutes-scale
+MEASURE_KWARGS = dict(ranks=2, steps=4, interval=2, num_pebbles=3, order=3,
+                      image_size=192)
+RBC_MEASURE_KWARGS = dict(total_ranks=3, steps=4, stream_interval=2, ratio=2,
+                          order=3, elements_per_rank=4)
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    return _RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def pb146_measured():
+    from repro.bench.workloads import pb146_profiles
+
+    return pb146_profiles(**MEASURE_KWARGS)
+
+
+@pytest.fixture(scope="session")
+def rbc_measured():
+    from repro.bench.workloads import rbc_profiles
+
+    return rbc_profiles(**RBC_MEASURE_KWARGS)
+
+
+def emit(results_dir: Path, name: str, table) -> None:
+    """Print a regenerated table and persist it under results/."""
+    text = table.render()
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,34 @@
+"""Regenerate Figure 5: in transit RBC mean time per timestep (weak scaling).
+
+Paper shapes asserted: (a) times are ~flat as rank count grows 64x
+(weak scaling works), (b) Catalyst and Checkpointing are similar,
+(c) both carry only a modest overhead over No Transport.
+"""
+
+from conftest import RBC_MEASURE_KWARGS, emit
+
+from repro.bench import fig5
+
+
+def test_fig5_intransit_time_per_step(benchmark, rbc_measured, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig5.run(measure_kwargs=RBC_MEASURE_KWARGS),
+        rounds=3, iterations=1,
+    )
+    emit(results_dir, "fig5_intransit_time", table)
+
+    rows = table.as_dicts()
+    for col in ("no transport [ms/step]", "checkpointing [ms/step]",
+                "catalyst [ms/step]"):
+        series = [row[col] for row in rows]
+        # flat weak scaling: 64x the ranks costs < 10% more per step
+        assert max(series) < 1.10 * min(series), (col, series)
+    for row in rows:
+        none = row["no transport [ms/step]"]
+        ckpt = row["checkpointing [ms/step]"]
+        cat = row["catalyst [ms/step]"]
+        assert none < ckpt and none < cat, row
+        # "times for Catalyst and Checkpointing are very similar"
+        assert abs(cat - ckpt) < 0.35 * none, row
+        # in transit overhead is small (paper: small vs the solve)
+        assert max(cat, ckpt) < 1.6 * none, row

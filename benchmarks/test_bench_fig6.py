@@ -1,0 +1,35 @@
+"""Regenerate Figure 6: in transit RBC memory per simulation node.
+
+Paper shapes asserted: (a) per-node memory is flat under weak scaling,
+(b) Catalyst ~ No Transport, (c) Checkpointing's overhead is visible
+but not large, (d) simulation memory never depends on endpoint count.
+"""
+
+from conftest import RBC_MEASURE_KWARGS, emit
+
+from repro.bench import fig6
+
+
+def test_fig6_intransit_memory_per_node(benchmark, rbc_measured, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig6.run(measure_kwargs=RBC_MEASURE_KWARGS),
+        rounds=3, iterations=1,
+    )
+    emit(results_dir, "fig6_intransit_memory", table)
+
+    rows = table.as_dicts()
+    for col in ("no transport [GiB/node]", "checkpointing [GiB/node]",
+                "catalyst [GiB/node]"):
+        series = [row[col] for row in rows]
+        assert max(series) == series[0] or max(series) < 1.05 * min(series), (
+            "per-node memory must stay flat under weak scaling",
+            col, series,
+        )
+    for row in rows:
+        none = row["no transport [GiB/node]"]
+        ckpt = row["checkpointing [GiB/node]"]
+        cat = row["catalyst [GiB/node]"]
+        # Catalyst close to No Transport; Checkpointing visible, not huge
+        assert cat < 1.5 * none, row
+        assert none <= cat <= ckpt, row
+        assert ckpt < 2.0 * none, row

@@ -1,0 +1,28 @@
+"""Regenerate the storage-economy result: 6.5 MB images vs 19 GB dumps.
+
+Paper shape asserted: checkpoint volume lands on the 19 GB the paper
+reports (it is exact arithmetic at the pb146 problem size), and the
+Catalyst image volume sits ~3 orders of magnitude below it.
+"""
+
+from conftest import MEASURE_KWARGS, emit
+
+from repro.bench import storage
+from repro.util.sizes import GIB
+
+
+def test_storage_economy(benchmark, pb146_measured, results_dir):
+    table = benchmark.pedantic(
+        lambda: storage.run(measure_kwargs=MEASURE_KWARGS),
+        rounds=3, iterations=1,
+    )
+    emit(results_dir, "storage_economy", table)
+
+    rows = {row["configuration"]: row for row in table.as_dicts()}
+    ckpt_bytes = rows["Checkpointing"]["bytes"]
+    cat_bytes = rows["Catalyst"]["bytes"]
+    # 30 dumps x 4 fields x 19.8e6 points x 8 B = 19.0 GB (paper: 19 GB)
+    assert 15 * GIB < ckpt_bytes < 20 * GIB
+    assert cat_bytes > 0
+    orders = rows["Catalyst"]["orders of magnitude vs ckpt"]
+    assert orders > 2.5, "storage economy must be ~3 orders of magnitude"

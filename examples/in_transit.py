@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""In transit visualization: simulation and endpoint on separate ranks.
+
+Reproduces the paper's Section 4.2 workflow at laptop scale: 4
+simulation ranks advance a Rayleigh-Benard case and stream fields
+through an ADIOS2-style SST stream to 1 endpoint rank (the paper's 4:1
+ratio); the endpoint is a SENSEI data consumer that either renders
+(Catalyst), writes VTU checkpoints, or does nothing (No Transport).
+
+The comparison printed at the end mirrors Figures 5 and 6: mean time
+per timestep and memory on the *simulation* side, per mode.
+
+Run:  python examples/in_transit.py
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.insitu import InTransitRunner
+from repro.nekrs.cases import weak_scaled_rbc_case
+from repro.parallel import run_spmd
+from repro.util.sizes import format_bytes
+from repro.util.tables import Table
+
+OUTPUT = Path("in_transit_output")
+TOTAL_RANKS = 5          # 4 simulation + 1 endpoint
+STEPS = 9
+STREAM_EVERY = 3
+
+
+def case_builder(num_sim_ranks):
+    case = weak_scaled_rbc_case(
+        num_sim_ranks, elements_per_rank=6, order=4, rayleigh=1e5, dt=3e-3,
+    )
+    return case.with_overrides(num_steps=STEPS)
+
+
+def main():
+    if OUTPUT.exists():
+        shutil.rmtree(OUTPUT)
+
+    table = Table(
+        ["endpoint mode", "sim ms/step", "sim memory", "streamed",
+         "endpoint output"],
+        title=f"in transit RBC — {TOTAL_RANKS - 1} sim ranks : 1 endpoint "
+        f"rank, stream every {STREAM_EVERY} steps",
+    )
+    for mode in ("none", "checkpoint", "catalyst"):
+        runner = InTransitRunner(
+            case_builder,
+            mode=mode,
+            ratio=4,
+            num_steps=STEPS,
+            stream_interval=STREAM_EVERY,
+            arrays=("temperature", "velocity_magnitude"),
+            output_dir=OUTPUT,
+            image_size=256,
+            contour_isovalue=0.0,
+        )
+        results = run_spmd(TOTAL_RANKS, runner.run)
+        sims = [r for r in results if r.role == "simulation"]
+        ends = [r for r in results if r.role == "endpoint"]
+        table.add_row(
+            [
+                mode,
+                1e3 * max(s.mean_step_seconds for s in sims),
+                format_bytes(max(s.memory_bytes for s in sims)),
+                format_bytes(sum(s.stream_bytes for s in sims)),
+                format_bytes(sum(e.files_bytes for e in ends)),
+            ]
+        )
+    print(table.render())
+    print(f"\nendpoint artifacts under {OUTPUT}/:")
+    for p in sorted(OUTPUT.rglob("*")):
+        if p.is_file():
+            print(f"  {p.relative_to(OUTPUT)}  ({format_bytes(p.stat().st_size)})")
+    print(
+        "\nNote how the simulation's memory is bounded by the SST queue "
+        "in every mode:\nvisualization cost lives on the endpoint, which "
+        "is the point of in transit."
+    )
+
+
+if __name__ == "__main__":
+    main()

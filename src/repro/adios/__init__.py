@@ -1,0 +1,51 @@
+"""ADIOS2-style I/O and streaming.
+
+The paper's in transit workflow uses ADIOS2 2.9.1 with the SST
+(Sustainable Staging Transport) engine: simulation ranks *put*
+variables each step; a separate endpoint application *gets* them over
+the network, decoupling visualization resources from simulation
+resources.  This package reproduces the API surface the coupling uses:
+
+- :class:`ADIOS` -> :meth:`ADIOS.declare_io` -> :class:`IO` ->
+  :meth:`IO.open` -> an :class:`Engine` with
+  ``begin_step / put / get / end_step / close``;
+- an **SST** engine backed by bounded in-process queues (one per
+  writer rank) with ADIOS-style ``QueueLimit`` / ``QueueFullPolicy``
+  (Block = backpressure, Discard = drop oldest) semantics;
+- a **BPFile** engine writing BP-marshaled step files to a directory;
+- BP marshaling itself (:mod:`repro.adios.marshal`): a compact,
+  deterministic binary encoding of named typed arrays + step metadata.
+
+Transported byte counts are metered so the machine model can replay
+the stream volume on the JUWELS Booster interconnect at paper scale.
+"""
+
+from repro.adios.marshal import marshal_step, unmarshal_step, StepPayload
+from repro.adios.engine import (
+    ADIOS,
+    IO,
+    Engine,
+    SSTBroker,
+    SSTWriterEngine,
+    SSTReaderEngine,
+    BPFileWriterEngine,
+    BPFileReaderEngine,
+    EndOfStream,
+    StepStatus,
+)
+
+__all__ = [
+    "ADIOS",
+    "IO",
+    "Engine",
+    "SSTBroker",
+    "SSTWriterEngine",
+    "SSTReaderEngine",
+    "BPFileWriterEngine",
+    "BPFileReaderEngine",
+    "EndOfStream",
+    "StepStatus",
+    "marshal_step",
+    "unmarshal_step",
+    "StepPayload",
+]

@@ -1,0 +1,357 @@
+"""ADIOS-style IO objects and engines (SST streaming, BPFile).
+
+The API follows adios2's shape: an :class:`ADIOS` object owns named
+:class:`IO` configurations (engine type + parameters); opening an IO
+yields an :class:`Engine` driven with ``begin_step / put / end_step``
+on the writer and ``begin_step / get / end_step`` on the reader.
+
+SST here is an in-process broker: one bounded queue per writer rank.
+``QueueLimit`` and ``QueueFullPolicy`` reproduce the real engine's
+backpressure-or-discard behavior — the knob our queue-depth ablation
+benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+import numpy as np
+
+from repro.adios.marshal import StepPayload, marshal_step, unmarshal_step
+
+
+class EndOfStream(Exception):
+    """The writer closed the stream; no more steps will arrive."""
+
+
+class StepStatus(Enum):
+    OK = "ok"
+    END_OF_STREAM = "end-of-stream"
+    NOT_READY = "not-ready"
+
+
+@dataclass
+class StreamStats:
+    """Per-broker transport accounting."""
+
+    steps_put: int = 0
+    steps_got: int = 0
+    steps_discarded: int = 0
+    bytes_put: int = 0
+    bytes_got: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_put(self, nbytes: int) -> None:
+        with self._lock:
+            self.steps_put += 1
+            self.bytes_put += nbytes
+
+    def record_get(self, nbytes: int) -> None:
+        with self._lock:
+            self.steps_got += 1
+            self.bytes_got += nbytes
+
+    def record_discard(self) -> None:
+        with self._lock:
+            self.steps_discarded += 1
+
+
+class SSTBroker:
+    """Shared staging area between one writer group and one reader group.
+
+    Create it in the orchestrator, hand it to both sides.  `queue_limit`
+    bounds the number of staged steps per writer rank (ADIOS
+    ``QueueLimit``); `queue_full_policy` selects Block (writer waits —
+    backpressure reaches the simulation) or Discard (oldest staged step
+    is dropped, decoupling the simulation from a slow consumer).
+    """
+
+    _SENTINEL = object()
+
+    def __init__(
+        self,
+        num_writers: int,
+        queue_limit: int = 2,
+        queue_full_policy: str = "Block",
+        timeout: float = 120.0,
+    ):
+        if num_writers < 1:
+            raise ValueError("num_writers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if queue_full_policy not in ("Block", "Discard"):
+            raise ValueError("queue_full_policy must be Block or Discard")
+        self.num_writers = num_writers
+        self.queue_limit = queue_limit
+        self.queue_full_policy = queue_full_policy
+        self.timeout = timeout
+        self.queues: list[queue.Queue] = [
+            queue.Queue(maxsize=queue_limit) for _ in range(num_writers)
+        ]
+        self.stats = StreamStats()
+
+    def put(self, writer_rank: int, payload_bytes: bytes) -> None:
+        q = self.queues[writer_rank]
+        if self.queue_full_policy == "Block":
+            try:
+                q.put(payload_bytes, timeout=self.timeout)
+            except queue.Full:
+                raise TimeoutError(
+                    f"SST writer {writer_rank} blocked > {self.timeout}s "
+                    "(reader stalled?)"
+                ) from None
+        else:
+            while True:
+                try:
+                    q.put_nowait(payload_bytes)
+                    break
+                except queue.Full:
+                    try:
+                        q.get_nowait()
+                        self.stats.record_discard()
+                    except queue.Empty:
+                        continue
+        self.stats.record_put(len(payload_bytes))
+
+    def close_writer(self, writer_rank: int) -> None:
+        self.queues[writer_rank].put(self._SENTINEL, timeout=self.timeout)
+
+    def get(self, writer_rank: int) -> bytes:
+        try:
+            item = self.queues[writer_rank].get(timeout=self.timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"SST reader timed out waiting on writer {writer_rank}"
+            ) from None
+        if item is self._SENTINEL:
+            raise EndOfStream
+        self.stats.record_get(len(item))
+        return item
+
+
+class Engine:
+    """Common engine surface."""
+
+    def __init__(self, name: str, mode: str):
+        self.name = name
+        self.mode = mode
+        self._in_step = False
+        self.closed = False
+
+    def begin_step(self) -> StepStatus:
+        if self.closed:
+            raise RuntimeError(f"engine {self.name} is closed")
+        if self._in_step:
+            raise RuntimeError("begin_step called twice without end_step")
+        self._in_step = True
+        return StepStatus.OK
+
+    def end_step(self) -> None:
+        if not self._in_step:
+            raise RuntimeError("end_step without begin_step")
+        self._in_step = False
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class SSTWriterEngine(Engine):
+    """One writer rank's end of an SST stream."""
+
+    def __init__(self, name: str, broker: SSTBroker, writer_rank: int):
+        super().__init__(name, "w")
+        if not 0 <= writer_rank < broker.num_writers:
+            raise ValueError(f"writer rank {writer_rank} out of range")
+        self.broker = broker
+        self.writer_rank = writer_rank
+        self._staged: dict[str, np.ndarray] = {}
+        self._attrs: dict[str, str] = {}
+        self._step = 0
+        self._time = 0.0
+
+    def set_step_info(self, step: int, time: float) -> None:
+        self._step = step
+        self._time = time
+
+    def put(self, name: str, array: np.ndarray) -> None:
+        if not self._in_step:
+            raise RuntimeError("put outside begin_step/end_step")
+        self._staged[name] = np.asarray(array)
+
+    def put_attribute(self, name: str, value: str) -> None:
+        self._attrs[name] = str(value)
+
+    def end_step(self) -> None:
+        payload = StepPayload(
+            step=self._step,
+            time=self._time,
+            rank=self.writer_rank,
+            variables=dict(self._staged),
+            attributes=dict(self._attrs),
+        )
+        self.broker.put(self.writer_rank, marshal_step(payload))
+        self._staged.clear()
+        super().end_step()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.broker.close_writer(self.writer_rank)
+        super().close()
+
+
+class SSTReaderEngine(Engine):
+    """One reader rank's end: drains an assigned set of writer ranks."""
+
+    def __init__(self, name: str, broker: SSTBroker, writer_ranks: list[int]):
+        super().__init__(name, "r")
+        self.broker = broker
+        self.writer_ranks = list(writer_ranks)
+        self._current: dict[int, StepPayload] = {}
+        self._ended: set[int] = set()
+
+    def begin_step(self) -> StepStatus:
+        super().begin_step()
+        self._current = {}
+        for w in self.writer_ranks:
+            if w in self._ended:
+                continue
+            try:
+                self._current[w] = unmarshal_step(self.broker.get(w))
+            except EndOfStream:
+                self._ended.add(w)
+        if not self._current:
+            self._in_step = False
+            return StepStatus.END_OF_STREAM
+        return StepStatus.OK
+
+    def get(self, writer_rank: int) -> StepPayload:
+        if not self._in_step:
+            raise RuntimeError("get outside begin_step/end_step")
+        return self._current[writer_rank]
+
+    def payloads(self) -> dict[int, StepPayload]:
+        if not self._in_step:
+            raise RuntimeError("payloads outside begin_step/end_step")
+        return dict(self._current)
+
+
+class BPFileWriterEngine(Engine):
+    """File-based engine: one BP payload file per (step, rank)."""
+
+    def __init__(self, name: str, directory, writer_rank: int = 0):
+        super().__init__(name, "w")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.writer_rank = writer_rank
+        self._staged: dict[str, np.ndarray] = {}
+        self._attrs: dict[str, str] = {}
+        self._step = 0
+        self._time = 0.0
+        self.bytes_written = 0
+
+    def set_step_info(self, step: int, time: float) -> None:
+        self._step = step
+        self._time = time
+
+    def put(self, name: str, array: np.ndarray) -> None:
+        if not self._in_step:
+            raise RuntimeError("put outside begin_step/end_step")
+        self._staged[name] = np.asarray(array)
+
+    def put_attribute(self, name: str, value: str) -> None:
+        self._attrs[name] = str(value)
+
+    def end_step(self) -> None:
+        payload = marshal_step(
+            StepPayload(
+                self._step, self._time, self.writer_rank,
+                dict(self._staged), dict(self._attrs),
+            )
+        )
+        path = self.directory / f"{self.name}.step{self._step:06d}.rank{self.writer_rank:04d}.bp"
+        path.write_bytes(payload)
+        self.bytes_written += len(payload)
+        self._staged.clear()
+        super().end_step()
+
+
+class BPFileReaderEngine(Engine):
+    """Reads BP payload files back in step order for one rank."""
+
+    def __init__(self, name: str, directory, writer_rank: int = 0):
+        super().__init__(name, "r")
+        self.directory = Path(directory)
+        self.writer_rank = writer_rank
+        pattern = f"{name}.step*.rank{writer_rank:04d}.bp"
+        self._files = sorted(self.directory.glob(pattern))
+        self._index = 0
+        self._payload: StepPayload | None = None
+
+    def begin_step(self) -> StepStatus:
+        super().begin_step()
+        if self._index >= len(self._files):
+            self._in_step = False
+            return StepStatus.END_OF_STREAM
+        self._payload = unmarshal_step(self._files[self._index].read_bytes())
+        self._index += 1
+        return StepStatus.OK
+
+    def get(self) -> StepPayload:
+        if not self._in_step or self._payload is None:
+            raise RuntimeError("get outside a valid step")
+        return self._payload
+
+
+@dataclass
+class IO:
+    """A named engine configuration (adios2.IO analog)."""
+
+    name: str
+    engine_type: str = "SST"
+    parameters: dict = field(default_factory=dict)
+
+    def set_engine(self, engine_type: str) -> None:
+        if engine_type not in ("SST", "BPFile"):
+            raise ValueError(f"unknown engine type {engine_type!r}")
+        self.engine_type = engine_type
+
+    def set_parameters(self, params: dict) -> None:
+        self.parameters.update(params)
+
+    def open(self, name: str, mode: str, **kwargs) -> Engine:
+        """Open an engine. SST needs broker=...; writers need
+        writer_rank=..., readers writer_ranks=[...]."""
+        if mode not in ("r", "w"):
+            raise ValueError("mode must be 'r' or 'w'")
+        if self.engine_type == "SST":
+            broker = kwargs.get("broker")
+            if broker is None:
+                raise ValueError("SST engines need a broker")
+            if mode == "w":
+                return SSTWriterEngine(name, broker, kwargs.get("writer_rank", 0))
+            return SSTReaderEngine(name, broker, kwargs.get("writer_ranks", [0]))
+        directory = kwargs.get("directory", self.parameters.get("directory", "."))
+        if mode == "w":
+            return BPFileWriterEngine(name, directory, kwargs.get("writer_rank", 0))
+        return BPFileReaderEngine(name, directory, kwargs.get("writer_rank", 0))
+
+
+class ADIOS:
+    """Root object holding named IO configurations."""
+
+    def __init__(self) -> None:
+        self._ios: dict[str, IO] = {}
+
+    def declare_io(self, name: str) -> IO:
+        if name in self._ios:
+            raise ValueError(f"IO {name!r} already declared")
+        io_obj = IO(name)
+        self._ios[name] = io_obj
+        return io_obj
+
+    def at_io(self, name: str) -> IO:
+        return self._ios[name]

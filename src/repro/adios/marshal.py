@@ -1,0 +1,111 @@
+"""BP-style binary marshaling of step data.
+
+One *step payload* carries: step index, simulation time, producing
+rank, and a set of named typed nd-arrays plus a small string-keyed
+attribute table.  The encoding is explicit and little-endian (magic,
+lengths, dtype tags) rather than pickle — matching how ADIOS BP
+serializes for transport, keeping payload sizes honest, and avoiding
+executing anything on the receive side.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_MAGIC = b"RBP1"
+
+_DTYPE_TAGS = {
+    np.dtype("<f8"): b"f8",
+    np.dtype("<f4"): b"f4",
+    np.dtype("<i8"): b"i8",
+    np.dtype("<i4"): b"i4",
+    np.dtype("uint8"): b"u1",
+}
+_TAG_DTYPES = {v: k for k, v in _DTYPE_TAGS.items()}
+
+
+@dataclass
+class StepPayload:
+    """Decoded step data."""
+
+    step: int
+    time: float
+    rank: int
+    variables: dict[str, np.ndarray] = field(default_factory=dict)
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(v.nbytes for v in self.variables.values())
+
+
+def _write_block(buf: io.BytesIO, name: str, arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    dtype = arr.dtype.newbyteorder("<") if arr.dtype.byteorder == ">" else arr.dtype
+    arr = arr.astype(dtype, copy=False)
+    tag = _DTYPE_TAGS.get(arr.dtype)
+    if tag is None:
+        raise TypeError(f"unsupported dtype for BP marshal: {arr.dtype}")
+    name_b = name.encode()
+    buf.write(struct.pack("<H", len(name_b)))
+    buf.write(name_b)
+    buf.write(tag)
+    buf.write(struct.pack("<B", arr.ndim))
+    buf.write(struct.pack(f"<{arr.ndim}q", *arr.shape))
+    raw = arr.tobytes()
+    buf.write(struct.pack("<q", len(raw)))
+    buf.write(raw)
+
+
+def marshal_step(payload: StepPayload) -> bytes:
+    """Encode a StepPayload to transportable bytes."""
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    attrs = json.dumps(payload.attributes).encode()
+    buf.write(struct.pack("<qdqI", payload.step, payload.time, payload.rank, len(attrs)))
+    buf.write(attrs)
+    buf.write(struct.pack("<I", len(payload.variables)))
+    for name, arr in payload.variables.items():
+        _write_block(buf, name, np.asarray(arr))
+    return buf.getvalue()
+
+
+def unmarshal_step(data: bytes) -> StepPayload:
+    """Decode bytes produced by :func:`marshal_step`."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not a BP step payload (bad magic)")
+    off = 4
+    step, time, rank, attr_len = struct.unpack_from("<qdqI", data, off)
+    off += struct.calcsize("<qdqI")
+    attributes = json.loads(data[off : off + attr_len].decode())
+    off += attr_len
+    (nvars,) = struct.unpack_from("<I", data, off)
+    off += 4
+    variables: dict[str, np.ndarray] = {}
+    for _ in range(nvars):
+        (name_len,) = struct.unpack_from("<H", data, off)
+        off += 2
+        name = data[off : off + name_len].decode()
+        off += name_len
+        tag = data[off : off + 2]
+        off += 2
+        dtype = _TAG_DTYPES.get(tag)
+        if dtype is None:
+            raise ValueError(f"unknown dtype tag {tag!r} in payload")
+        (ndim,) = struct.unpack_from("<B", data, off)
+        off += 1
+        shape = struct.unpack_from(f"<{ndim}q", data, off)
+        off += 8 * ndim
+        (raw_len,) = struct.unpack_from("<q", data, off)
+        off += 8
+        arr = np.frombuffer(data[off : off + raw_len], dtype=dtype).reshape(shape)
+        off += raw_len
+        variables[name] = arr.copy()
+    if off != len(data):
+        raise ValueError("trailing bytes in BP payload")
+    return StepPayload(step=step, time=time, rank=rank, variables=variables, attributes=attributes)

@@ -1,0 +1,59 @@
+"""Figure 3: pb146 aggregate memory high-water mark.
+
+Paper finding: Catalyst's CPU memory is ~25% above Checkpointing,
+"rational, given the need to transition data from GPU to CPU and the
+inherent overhead accompanying Catalyst operations."
+
+Run as ``python -m repro.bench.fig3``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.fig2 import MODES, RANK_COUNTS
+from repro.bench.replay import ReplayConfig, predict_insitu_run
+from repro.bench.workloads import (
+    PB146_GRIDPOINTS,
+    PB146_INTERVAL,
+    PB146_STEPS,
+    pb146_profiles,
+)
+from repro.machine import POLARIS, ClusterSpec
+from repro.util.sizes import GIB
+from repro.util.tables import Table
+
+
+def run(
+    rank_counts: tuple[int, ...] = RANK_COUNTS,
+    cluster: ClusterSpec = POLARIS,
+    steps: int = PB146_STEPS,
+    interval: int = PB146_INTERVAL,
+    total_gridpoints: float = PB146_GRIDPOINTS,
+    config: ReplayConfig = ReplayConfig(),
+    measure_kwargs: dict | None = None,
+) -> Table:
+    profiles = pb146_profiles(**(measure_kwargs or {}))
+    table = Table(
+        ["ranks", "checkpointing [GiB]", "catalyst [GiB]", "catalyst/checkpointing"],
+        title=f"Fig. 3 — pb146 aggregate memory high-water mark on {cluster.name}",
+    )
+    for ranks in rank_counts:
+        preds = {
+            mode: predict_insitu_run(
+                profiles[mode],
+                cluster,
+                ranks,
+                total_gridpoints,
+                steps=steps,
+                interval=interval,
+                config=config,
+            )
+            for mode in MODES
+        }
+        ckpt = preds["checkpoint"].memory_aggregate_bytes
+        cat = preds["catalyst"].memory_aggregate_bytes
+        table.add_row([ranks, ckpt / GIB, cat / GIB, cat / ckpt])
+    return table
+
+
+if __name__ == "__main__":
+    print(run().render())

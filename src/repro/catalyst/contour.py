@@ -1,0 +1,146 @@
+"""Isosurface extraction via marching tetrahedra.
+
+Each cube of the volume lattice splits into six tetrahedra; a
+tetrahedron crossed by the isovalue yields one or two triangles with
+vertices linearly interpolated along its edges.  Marching tetrahedra
+trades slightly more triangles than marching cubes for a tiny,
+unambiguous case table — the right call for a from-scratch renderer.
+
+The volume is indexed ``[k, j, i]`` (z slowest) like all grid data in
+this stack; world coordinates come from origin/spacing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Six tetrahedra per cube, as indices into the cube's 8 corners
+# (corner order: bit 0 = x, bit 1 = y, bit 2 = z).
+_TETS = np.array(
+    [
+        [0, 1, 3, 7],
+        [0, 1, 7, 5],
+        [0, 5, 7, 4],
+        [0, 3, 2, 7],
+        [0, 2, 6, 7],
+        [0, 6, 4, 7],
+    ],
+    dtype=np.int64,
+)
+
+_CORNER_OFFSETS = np.array(
+    [[(c >> 0) & 1, (c >> 1) & 1, (c >> 2) & 1] for c in range(8)], dtype=np.int64
+)  # (8, 3) in (i, j, k) order
+
+# Edges of a tetrahedron as vertex-index pairs
+_TET_EDGES = np.array(
+    [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]], dtype=np.int64
+)
+
+# For each of the 16 inside/outside sign cases, the edges (by index
+# into _TET_EDGES) forming the crossing triangles.  Case key: bit v set
+# when vertex v is above the isovalue.
+_CASES: dict[int, list[tuple[int, int, int]]] = {
+    0b0000: [],
+    0b1111: [],
+    0b0001: [(0, 1, 2)],
+    0b1110: [(0, 2, 1)],
+    0b0010: [(0, 3, 4)],
+    0b1101: [(0, 4, 3)],
+    0b0100: [(1, 5, 3)],
+    0b1011: [(1, 3, 5)],
+    0b1000: [(2, 4, 5)],
+    0b0111: [(2, 5, 4)],
+    0b0011: [(1, 2, 3), (3, 2, 4)],
+    0b1100: [(1, 3, 2), (3, 4, 2)],
+    # v0,v2 above: the crossing quad is edges 0 (0-1), 3 (1-2),
+    # 5 (2-3), 2 (3-0); triangulated along the 0-5 diagonal
+    0b0101: [(0, 3, 5), (0, 5, 2)],
+    0b1010: [(0, 5, 3), (0, 2, 5)],
+    0b0110: [(0, 1, 5), (0, 5, 4)],
+    0b1001: [(0, 5, 1), (0, 4, 5)],
+}
+
+
+def marching_tetrahedra(
+    volume: np.ndarray,
+    isovalue: float,
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    spacing: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    aux: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract the isosurface of `volume` at `isovalue`.
+
+    Returns ``(vertices (V, 3), faces (F, 3), values (V,))`` where
+    `values` interpolates `aux` (or the volume itself) onto the surface
+    — used to pseudocolor an isosurface of one field by another.
+    """
+    vol = np.asarray(volume, dtype=float)
+    if vol.ndim != 3:
+        raise ValueError(f"volume must be 3-D, got {vol.ndim}-D")
+    nz, ny, nx = vol.shape
+    if min(nx, ny, nz) < 2:
+        return np.zeros((0, 3)), np.zeros((0, 3), np.int64), np.zeros(0)
+    aux_vol = vol if aux is None else np.asarray(aux, dtype=float)
+    if aux_vol.shape != vol.shape:
+        raise ValueError("aux volume must match the scalar volume shape")
+
+    above = vol > isovalue
+    # candidate cubes: those whose 2x2x2 corners are not all on one side
+    corner_above = above[:-1, :-1, :-1].astype(np.int8)
+    total = np.zeros((nz - 1, ny - 1, nx - 1), dtype=np.int8)
+    for di, dj, dk in _CORNER_OFFSETS:
+        total += above[dk : dk + nz - 1, dj : dj + ny - 1, di : di + nx - 1]
+    ks, js, is_ = np.nonzero((total > 0) & (total < 8))
+
+    verts: list[np.ndarray] = []
+    vals: list[float] = []
+    faces: list[tuple[int, int, int]] = []
+    sp = np.asarray(spacing, dtype=float)
+    org = np.asarray(origin, dtype=float)
+
+    for k, j, i in zip(ks, js, is_):
+        corner_idx = np.array([i, j, k]) + _CORNER_OFFSETS  # (8, 3) (i,j,k)
+        cv = vol[corner_idx[:, 2], corner_idx[:, 1], corner_idx[:, 0]]
+        if not np.isfinite(cv).all():
+            # thresholded/blanked region: no surface through this cube
+            continue
+        ca = aux_vol[corner_idx[:, 2], corner_idx[:, 1], corner_idx[:, 0]]
+        cpos = org + corner_idx * sp
+        for tet in _TETS:
+            case = 0
+            for v in range(4):
+                if cv[tet[v]] > isovalue:
+                    case |= 1 << v
+            tris = _CASES[case]
+            if not tris:
+                continue
+            # interpolated crossing point per tet edge (lazy per edge)
+            edge_pts: dict[int, int] = {}
+
+            def edge_vertex(eidx: int) -> int:
+                cached = edge_pts.get(eidx)
+                if cached is not None:
+                    return cached
+                a, b = _TET_EDGES[eidx]
+                va, vb = cv[tet[a]], cv[tet[b]]
+                denom = vb - va
+                t = 0.5 if denom == 0 else np.clip((isovalue - va) / denom, 0.0, 1.0)
+                p = cpos[tet[a]] * (1 - t) + cpos[tet[b]] * t
+                val = ca[tet[a]] * (1 - t) + ca[tet[b]] * t
+                verts.append(p)
+                vals.append(float(val))
+                idx = len(verts) - 1
+                edge_pts[eidx] = idx
+                return idx
+
+            for tri in tris:
+                faces.append(tuple(edge_vertex(e) for e in tri))
+
+    if not verts:
+        return np.zeros((0, 3)), np.zeros((0, 3), np.int64), np.zeros(0)
+    return (
+        np.asarray(verts),
+        np.asarray(faces, dtype=np.int64),
+        np.asarray(vals),
+    )

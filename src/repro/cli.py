@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+``info``
+    Print the modeled machine specifications (Polaris, JUWELS Booster).
+``run``
+    Run a built-in case with an optional SENSEI XML configuration —
+    the whole paper workflow from one command.
+``render``
+    Posthoc-render a ``.fld`` checkpoint into PNG images (the offline
+    complement to the in situ pipeline).
+``bench``
+    Regenerate a paper figure/table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.util.sizes import format_bytes
+
+_CASES = ("cavity", "pebble", "rbc")
+_FIGURES = ("fig2", "fig3", "fig5", "fig6", "storage", "ablations", "report")
+
+
+def _build_case(name: str, steps: int | None, order: int | None, par: str | None):
+    from repro.nekrs.cases import (
+        lid_cavity_case,
+        pebble_bed_case,
+        rayleigh_benard_case,
+    )
+
+    if name == "cavity":
+        case = lid_cavity_case()
+    elif name == "pebble":
+        case = pebble_bed_case(num_pebbles=5, elements_per_unit=3, order=4,
+                               num_steps=30)
+    elif name == "rbc":
+        case = rayleigh_benard_case(aspect=(2, 1), elements_per_unit=3,
+                                    num_steps=50)
+    else:
+        raise SystemExit(f"unknown case {name!r}; choose from {_CASES}")
+    overrides = {}
+    if par:
+        from repro.nekrs.parfile import par_to_overrides, read_par
+
+        overrides.update(par_to_overrides(read_par(par)))
+    if steps is not None:
+        overrides["num_steps"] = steps
+    if order is not None:
+        overrides["order"] = order
+    return case.with_overrides(**overrides) if overrides else case
+
+
+def cmd_info(args) -> int:
+    from repro.machine import JUWELS_BOOSTER, POLARIS
+
+    for spec in (POLARIS, JUWELS_BOOSTER):
+        node = spec.node
+        print(f"{spec.name}")
+        print(f"  nodes            : {spec.num_nodes}")
+        print(f"  node             : {node.cpu_sockets}x {node.cores_per_socket}c CPU, "
+              f"{format_bytes(node.mem_bytes)} RAM")
+        print(f"  GPUs/node        : {node.gpus_per_node}x {node.gpu.name}")
+        print(f"  NICs/node        : {node.nics_per_node}x {node.nic.name} "
+              f"({node.nic.bw_gbs:g} GB/s, {node.nic.latency_s * 1e6:g} us)")
+        print(f"  filesystem       : {spec.fs.name} "
+              f"({spec.fs.aggregate_write_gbs:g} GB/s aggregate)")
+        print(f"  total ranks      : {spec.total_ranks} (1 per GPU)")
+        print()
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.insitu import Bridge
+    from repro.nekrs import NekRSSolver
+    from repro.occa import Device
+    from repro.parallel import run_spmd
+
+    case = _build_case(args.case, args.steps, args.order, args.par)
+    config_xml = (
+        Path(args.config).read_text() if args.config else "<sensei></sensei>"
+    )
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    def body(comm):
+        device = Device(args.device)
+        solver = NekRSSolver(case, comm, device)
+        bridge = Bridge(solver, config_xml=config_xml, output_dir=outdir)
+        reports = solver.run(observer=bridge.observer)
+        bridge.finalize()
+        return {
+            "steps": len(reports),
+            "time": solver.time,
+            "cfl": reports[-1].cfl if reports else 0.0,
+            "insitu_s": bridge.insitu_seconds,
+            "d2h": device.transfers.d2h_bytes,
+        }
+
+    results = run_spmd(args.ranks, body)
+    print(f"case {case.name}: {results[0]['steps']} steps to t={results[0]['time']:.4g}")
+    for rank, r in enumerate(results):
+        print(
+            f"  rank {rank}: CFL={r['cfl']:.3f} in-situ={r['insitu_s']:.3f}s "
+            f"GPU->CPU={format_bytes(r['d2h'])}"
+        )
+    artifacts = [p for p in sorted(outdir.rglob("*")) if p.is_file()]
+    if artifacts:
+        print(f"artifacts under {outdir}/: {len(artifacts)} files, "
+              f"{format_bytes(sum(p.stat().st_size for p in artifacts))}")
+    return 0
+
+
+def cmd_render(args) -> int:
+    from repro.catalyst import RenderPipeline, RenderSpec
+    from repro.nekrs.checkpoint import read_checkpoint
+    from repro.nekrs import NekRSSolver
+    from repro.parallel import SerialCommunicator
+    from repro.insitu import NekDataAdaptor
+    from repro.sensei.analyses.catalyst_adaptor import gather_uniform_volume
+    from repro.util.png import write_png
+
+    header, fields = read_checkpoint(args.checkpoint)
+    if header.size != 1:
+        raise SystemExit(
+            "render expects a single-rank checkpoint; re-dump with --ranks 1"
+        )
+    case = _build_case(args.case, None, None, args.par)
+    comm = SerialCommunicator()
+    solver = NekRSSolver(case, comm)
+    if solver.mesh.field_shape() != header.field_shape:
+        raise SystemExit(
+            f"checkpoint shape {header.field_shape} does not match case "
+            f"{args.case!r} mesh {solver.mesh.field_shape()}; pass the same "
+            "case/order/par the run used"
+        )
+    for name, arr in fields.items():
+        target = {
+            "velocity_x": solver.u, "velocity_y": solver.v,
+            "velocity_z": solver.w, "pressure": solver.p,
+            "temperature": solver.T,
+        }.get(name)
+        if target is not None:
+            target[:] = arr
+
+    adaptor = NekDataAdaptor(solver)
+    adaptor.set_data_time_step(header.step)
+    adaptor.set_data_time(header.time)
+    image = gather_uniform_volume(comm, adaptor, "uniform", (args.array,))
+    specs = [RenderSpec(kind="slice", array=args.array, axis=args.slice_axis)]
+    if args.isovalue is not None:
+        specs.insert(
+            0, RenderSpec(kind="contour", array=args.array, isovalue=args.isovalue)
+        )
+    pipe = RenderPipeline(specs=specs, width=args.size, height=args.size,
+                          name=Path(args.checkpoint).stem)
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, frame in pipe.render(image, header.step, header.time):
+        path = outdir / f"{name}.png"
+        nbytes = write_png(path, frame)
+        print(f"wrote {path} ({format_bytes(nbytes)})")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import importlib
+
+    if args.figure == "report":
+        from repro.bench.report import build_report
+
+        print(build_report(quick=True))
+        return 0
+    if args.figure == "ablations":
+        from repro.bench import ablations
+
+        print(ablations.insitu_frequency().render())
+        print()
+        print(ablations.sst_queue().render())
+        print()
+        print(ablations.endpoint_ratio().render())
+        return 0
+    module = importlib.import_module(f"repro.bench.{args.figure}")
+    kwargs = {}
+    if args.quick:
+        kwargs["measure_kwargs"] = (
+            dict(total_ranks=3, steps=4, stream_interval=2, ratio=2, order=3,
+                 elements_per_rank=4)
+            if args.figure in ("fig5", "fig6")
+            else dict(ranks=2, steps=4, interval=2, num_pebbles=3, order=3)
+        )
+    print(module.run(**kwargs).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NekRS x SENSEI in situ visualization reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print modeled machine specs").set_defaults(
+        fn=cmd_info
+    )
+
+    run = sub.add_parser("run", help="run a case with in situ analysis")
+    run.add_argument("--case", choices=_CASES, default="cavity")
+    run.add_argument("--ranks", type=int, default=2)
+    run.add_argument("--steps", type=int, default=None)
+    run.add_argument("--order", type=int, default=None)
+    run.add_argument("--par", help="NekRS-style .par override file")
+    run.add_argument("--config", help="SENSEI XML configuration file")
+    run.add_argument("--output", default="repro_output")
+    run.add_argument("--device", choices=("serial", "cuda-sim"), default="cuda-sim")
+    run.set_defaults(fn=cmd_run)
+
+    render = sub.add_parser("render", help="posthoc-render a .fld checkpoint")
+    render.add_argument("checkpoint")
+    render.add_argument("--case", choices=_CASES, required=True)
+    render.add_argument("--par", help=".par file the run used")
+    render.add_argument("--array", default="pressure")
+    render.add_argument("--isovalue", type=float, default=None)
+    render.add_argument("--slice-axis", choices=("x", "y", "z"), default="y")
+    render.add_argument("--size", type=int, default=512)
+    render.add_argument("--output", default="render_output")
+    render.set_defaults(fn=cmd_render)
+
+    bench = sub.add_parser("bench", help="regenerate a paper figure/table")
+    bench.add_argument("figure", choices=_FIGURES)
+    bench.add_argument("--quick", action="store_true",
+                       help="use the smallest measurement workload")
+    bench.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""The bridge: embedding SENSEI into the simulation (paper Listing 3).
+
+The bridge owns the DataAdaptor and the ConfigurableAnalysis, stamps
+time/step onto the adaptor each timestep, invokes the analyses, and
+releases per-step staging afterwards.  Attach :meth:`Bridge.observer`
+to :meth:`NekRSSolver.run` and the simulation is instrumented — the
+entire integration surface, as in the paper.
+
+A module-level functional facade (initialize / update / finalize)
+mirrors the C bridge's shape for readers following the paper listing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.insitu.adaptor import NekDataAdaptor
+from repro.nekrs.solver import NekRSSolver, StepReport
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.configurable import ConfigurableAnalysis
+from repro.util.timing import StopWatch
+
+
+class Bridge:
+    def __init__(
+        self,
+        solver: NekRSSolver,
+        analysis: AnalysisAdaptor | None = None,
+        config_xml: str | None = None,
+        output_dir: str | Path = ".",
+        samples_per_element: int | None = None,
+        extra_factories: dict | None = None,
+    ):
+        if (analysis is None) == (config_xml is None):
+            raise ValueError("provide exactly one of analysis= or config_xml=")
+        self.solver = solver
+        self.adaptor = NekDataAdaptor(solver, samples_per_element)
+        if analysis is None:
+            analysis = ConfigurableAnalysis(
+                solver.comm, config_xml, output_dir, extra_factories
+            )
+        self.analysis = analysis
+        self.watch = StopWatch()
+        self.invocations = 0
+        self.stop_requested = False
+
+    def update(self, step: int, time: float) -> bool:
+        """Offer the current state to the analyses; False = stop."""
+        self.adaptor.set_data_time_step(step)
+        self.adaptor.set_data_time(time)
+        with self.watch.phase("insitu"):
+            keep_going = self.analysis.execute(self.adaptor)
+            self.adaptor.release_data()
+        self.invocations += 1
+        if not keep_going:
+            self.stop_requested = True
+        return keep_going
+
+    def observer(self, solver: NekRSSolver, report: StepReport) -> None:
+        """Adapter for ``NekRSSolver.run(observer=...)``."""
+        self.update(report.step, report.time)
+
+    def finalize(self) -> None:
+        with self.watch.phase("finalize"):
+            self.analysis.finalize()
+
+    @property
+    def insitu_seconds(self) -> float:
+        return self.watch.total("insitu")
+
+
+# -- functional facade mirroring the C bridge of Listing 3 -------------------
+
+_active_bridge: Bridge | None = None
+
+
+def initialize(solver: NekRSSolver, config_xml: str, output_dir: str | Path = ".") -> Bridge:
+    """Create and register the process-wide bridge (Listing 3 style)."""
+    global _active_bridge
+    if _active_bridge is not None:
+        raise RuntimeError("bridge already initialized; call finalize() first")
+    _active_bridge = Bridge(solver, config_xml=config_xml, output_dir=output_dir)
+    return _active_bridge
+
+
+def update(step: int, time: float) -> bool:
+    if _active_bridge is None:
+        raise RuntimeError("bridge not initialized")
+    return _active_bridge.update(step, time)
+
+
+def finalize() -> None:
+    global _active_bridge
+    if _active_bridge is None:
+        raise RuntimeError("bridge not initialized")
+    _active_bridge.finalize()
+    _active_bridge = None

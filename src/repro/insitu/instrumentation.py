@@ -1,0 +1,76 @@
+"""Run profiles: the measured quantities the benchmarks replay at scale.
+
+A :class:`RunProfile` captures, from a real scaled-down instrumented
+run, everything the machine model needs to predict leadership-scale
+behavior: per-step compute seconds, per-invocation in situ seconds,
+bytes moved per channel (device->host, checkpoint, stream, images) and
+per-rank memory.  :class:`MemoryModel` decomposes the memory
+high-water mark the way Figures 3 and 6 report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunProfile:
+    """Measured per-rank/per-step quantities from an instrumented run."""
+
+    case: str
+    mode: str                      # "original" | "checkpoint" | "catalyst" | ...
+    ranks: int
+    steps: int
+    insitu_interval: int
+    gridpoints_per_rank: float
+    num_fields: int
+
+    solver_seconds_per_step: float = 0.0
+    insitu_seconds_per_invocation: float = 0.0
+    d2h_bytes_per_invocation_per_rank: int = 0
+    checkpoint_bytes_per_dump_per_rank: int = 0
+    stream_bytes_per_step_per_rank: int = 0
+    image_bytes_per_invocation: int = 0
+    render_seconds_per_invocation: float = 0.0
+
+    solver_memory_bytes_per_rank: int = 0
+    staging_memory_bytes_per_rank: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def invocations(self) -> int:
+        """In situ / checkpoint invocations over the whole run."""
+        if self.insitu_interval <= 0:
+            return 0
+        return self.steps // self.insitu_interval
+
+    def scaled_gridpoints(self, target_ranks: int, weak: bool) -> float:
+        """Total gridpoints when re-run on `target_ranks` ranks.
+
+        weak scaling: per-rank load constant; strong scaling: the total
+        problem of the measured run is held fixed.
+        """
+        if weak:
+            return self.gridpoints_per_rank * target_ranks
+        return self.gridpoints_per_rank * self.ranks
+
+
+@dataclass
+class MemoryModel:
+    """Decomposed per-rank memory high-water mark (bytes)."""
+
+    solver: int
+    staging: int = 0        # SENSEI/VTK host mirrors + resample buffers
+    transport: int = 0      # SST queue occupancy / write buffers
+    render: int = 0         # gathered volume + framebuffer (root rank)
+
+    @property
+    def total(self) -> int:
+        return self.solver + self.staging + self.transport + self.render
+
+    def per_node(self, ranks_per_node: int) -> int:
+        return self.total * ranks_per_node
+
+    def aggregate(self, num_ranks: int) -> int:
+        """Sum over ranks, the way Figure 3 reports memory."""
+        return self.total * num_ranks

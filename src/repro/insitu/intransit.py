@@ -1,0 +1,266 @@
+"""In transit orchestration: simulation group + SENSEI endpoint group.
+
+Reproduces the paper's Section 4.2 topology: the rank group splits
+into simulation ranks and endpoint ranks at a configurable ratio (the
+paper uses 4:1), an SST stream connects them, and the endpoint runs a
+SENSEI data consumer in one of three measurement modes:
+
+- ``none``        — No Transport: SENSEI runtime loaded, no analysis
+                    adaptor enabled, nothing streamed;
+- ``checkpoint``  — the endpoint writes pressure+velocity as VTU files;
+- ``catalyst``    — the endpoint renders two images per received step.
+
+The key property the paper highlights — simulation memory independent
+of visualization resources — holds by construction here too: the
+simulation side stages at most ``queue_limit`` marshaled steps.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.adios.engine import SSTBroker, SSTReaderEngine, SSTWriterEngine, StepStatus
+from repro.insitu.adaptor import NekDataAdaptor
+from repro.insitu.bridge import Bridge
+from repro.insitu.streamed import StreamedDataAdaptor
+from repro.nekrs.config import CaseDefinition
+from repro.nekrs.solver import NekRSSolver
+from repro.occa import Device
+from repro.parallel.comm import Communicator
+from repro.parallel.partition import block_range
+from repro.sensei.analyses.catalyst_adaptor import CatalystAnalysisAdaptor
+from repro.sensei.analyses.adios_adaptor import ADIOSAnalysisAdaptor
+from repro.sensei.analyses.posthoc_io import VTKPosthocIO
+from repro.catalyst.pipeline import RenderPipeline, RenderSpec
+
+_MODES = ("none", "checkpoint", "catalyst")
+
+
+@dataclass
+class InTransitResult:
+    """Per-rank outcome of an in transit run."""
+
+    role: str                  # "simulation" | "endpoint"
+    rank: int                  # rank within its subgroup
+    steps: int = 0
+    wall_seconds: float = 0.0
+    mean_step_seconds: float = 0.0
+    stream_bytes: int = 0
+    memory_bytes: int = 0
+    staging_bytes: int = 0
+    files_bytes: int = 0       # endpoint VTU/PNG output
+    images: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class InTransitRunner:
+    """Drives one full in transit run inside an SPMD group.
+
+    Use as the body of :func:`repro.parallel.run_spmd`::
+
+        runner = InTransitRunner(case_builder, mode="catalyst", ...)
+        results = run_spmd(10, runner.run)
+    """
+
+    def __init__(
+        self,
+        case_builder,                  # fn(num_sim_ranks) -> CaseDefinition
+        mode: str = "catalyst",
+        ratio: int = 4,                # sim ranks per endpoint rank
+        num_steps: int | None = None,
+        stream_interval: int = 1,
+        arrays: tuple[str, ...] = ("pressure", "velocity_magnitude"),
+        queue_limit: int = 2,
+        queue_full_policy: str = "Block",
+        output_dir: str | Path = "intransit_out",
+        samples_per_element: int | None = None,
+        device_mode: str = "cuda-sim",
+        image_size: int = 256,
+        contour_isovalue: float = 0.0,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if ratio < 1:
+            raise ValueError("ratio must be >= 1")
+        if stream_interval < 1:
+            raise ValueError("stream_interval must be >= 1")
+        self.case_builder = case_builder
+        self.mode = mode
+        self.ratio = ratio
+        self.num_steps = num_steps
+        self.stream_interval = stream_interval
+        self.arrays = tuple(arrays)
+        self.queue_limit = queue_limit
+        self.queue_full_policy = queue_full_policy
+        self.output_dir = Path(output_dir)
+        self.samples_per_element = samples_per_element
+        self.device_mode = device_mode
+        self.image_size = image_size
+        self.contour_isovalue = contour_isovalue
+
+    # -- layout -----------------------------------------------------------
+    def split_counts(self, total_ranks: int) -> tuple[int, int]:
+        """(num_sim, num_endpoint) for a total group size."""
+        if total_ranks < 2:
+            raise ValueError("in transit needs at least 2 ranks (sim + endpoint)")
+        num_end = max(1, round(total_ranks / (self.ratio + 1)))
+        num_sim = total_ranks - num_end
+        return num_sim, num_end
+
+    # -- body ----------------------------------------------------------------
+    def run(self, comm: Communicator) -> InTransitResult:
+        num_sim, num_end = self.split_counts(comm.size)
+        is_sim = comm.rank < num_sim
+
+        broker = None
+        if self.mode != "none":
+            if comm.rank == 0:
+                broker = SSTBroker(
+                    num_writers=num_sim,
+                    queue_limit=self.queue_limit,
+                    queue_full_policy=self.queue_full_policy,
+                )
+            broker = comm.bcast(broker, root=0)
+
+        sub = comm.split(0 if is_sim else 1)
+        if is_sim:
+            return self._run_simulation(sub, broker, num_sim)
+        return self._run_endpoint(sub, broker, num_sim, num_end)
+
+    # -- simulation side ---------------------------------------------------
+    def _run_simulation(
+        self, comm: Communicator, broker: SSTBroker | None, num_sim: int
+    ) -> InTransitResult:
+        case = self.case_builder(num_sim)
+        device = Device(self.device_mode)
+        solver = NekRSSolver(case, comm, device)
+        steps = self.num_steps or case.num_steps
+
+        bridge = None
+        adios = None
+        mesh_name = "uniform" if self.mode == "catalyst" else "mesh"
+        if broker is not None:
+            engine = SSTWriterEngine("nekrs-sensei", broker, writer_rank=comm.rank)
+            adios = ADIOSAnalysisAdaptor(
+                comm, engine, mesh_name=mesh_name, arrays=self.arrays
+            )
+            bridge = Bridge(
+                solver, analysis=adios, samples_per_element=self.samples_per_element
+            )
+        else:
+            # No Transport: SENSEI is still in the loop (empty config).
+            bridge = Bridge(solver, config_xml="<sensei></sensei>")
+
+        step_seconds = []
+        t0 = _time.perf_counter()
+        for i in range(steps):
+            ts = _time.perf_counter()
+            report = solver.step()
+            if report.step % self.stream_interval == 0:
+                bridge.update(report.step, report.time)
+            step_seconds.append(_time.perf_counter() - ts)
+        bridge.finalize()
+        wall = _time.perf_counter() - t0
+
+        stream_bytes = adios.bytes_sent if adios is not None else 0
+        staging = bridge.adaptor.staging_bytes_peak
+        # staged SST payloads bound simulation-side transport memory
+        transport = (
+            self.queue_limit * (stream_bytes // max(adios.steps_sent, 1))
+            if adios is not None and adios.steps_sent
+            else 0
+        )
+        return InTransitResult(
+            role="simulation",
+            rank=comm.rank,
+            steps=steps,
+            wall_seconds=wall,
+            mean_step_seconds=sum(step_seconds) / len(step_seconds),
+            stream_bytes=stream_bytes,
+            memory_bytes=solver.memory_bytes() + staging + transport,
+            staging_bytes=staging,
+            extra={"insitu_seconds": bridge.insitu_seconds},
+        )
+
+    # -- endpoint side ----------------------------------------------------------
+    def _endpoint_analysis(self, comm: Communicator):
+        out = self.output_dir / self.mode
+        if self.mode == "checkpoint":
+            return VTKPosthocIO(
+                comm,
+                output_dir=out,
+                mesh_name="mesh",
+                arrays=self.arrays,
+            )
+        pipeline = RenderPipeline(
+            specs=[
+                RenderSpec(
+                    kind="contour",
+                    array=self.arrays[0],
+                    isovalue=self.contour_isovalue,
+                    color_array=self.arrays[-1],
+                ),
+                RenderSpec(kind="slice", array=self.arrays[0], axis="y"),
+            ],
+            width=self.image_size,
+            height=self.image_size,
+            name="intransit",
+        )
+        return CatalystAnalysisAdaptor(
+            comm,
+            pipeline.render,
+            arrays=self.arrays,
+            mesh_name="uniform",
+            output_dir=out,
+        )
+
+    def _run_endpoint(
+        self,
+        comm: Communicator,
+        broker: SSTBroker | None,
+        num_sim: int,
+        num_end: int,
+    ) -> InTransitResult:
+        t0 = _time.perf_counter()
+        result = InTransitResult(role="endpoint", rank=comm.rank)
+        if broker is None:  # No Transport: endpoint idles
+            result.wall_seconds = _time.perf_counter() - t0
+            return result
+
+        lo, hi = block_range(num_sim, num_end, comm.rank)
+        reader = SSTReaderEngine("nekrs-sensei", broker, writer_ranks=list(range(lo, hi)))
+        adaptor = StreamedDataAdaptor(comm)
+        analysis = self._endpoint_analysis(comm)
+
+        staging_peak = 0
+        recv_bytes = 0
+        steps = 0
+        while True:
+            status = reader.begin_step()
+            if status is StepStatus.END_OF_STREAM:
+                break
+            payloads = reader.payloads()
+            adaptor.consume(payloads)
+            staging_peak = max(staging_peak, adaptor.staged_bytes)
+            recv_bytes += adaptor.staged_bytes
+            analysis.execute(adaptor)
+            adaptor.release_data()
+            reader.end_step()
+            steps += 1
+        analysis.finalize()
+
+        result.steps = steps
+        result.wall_seconds = _time.perf_counter() - t0
+        result.mean_step_seconds = result.wall_seconds / steps if steps else 0.0
+        result.stream_bytes = recv_bytes
+        result.staging_bytes = staging_peak
+        result.memory_bytes = staging_peak
+        if isinstance(analysis, VTKPosthocIO):
+            result.files_bytes = analysis.bytes_written
+        elif isinstance(analysis, CatalystAnalysisAdaptor):
+            result.files_bytes = analysis.image_bytes
+            result.images = analysis.images_written
+            result.memory_bytes += analysis.peak_staging_bytes
+        return result

@@ -1,0 +1,68 @@
+"""Simulated clocks and cost ledgers.
+
+A :class:`SimClock` tracks one rank's modeled wall time; a
+:class:`CostLedger` breaks accumulated time and bytes into categories
+(compute, device-host copy, checkpoint I/O, network, render, ...) so
+benchmark drivers can report the same decomposition the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostLedger:
+    """Accumulated seconds and bytes per category."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    nbytes: dict[str, int] = field(default_factory=dict)
+
+    def add_time(self, category: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative time for {category}: {seconds}")
+        self.seconds[category] = self.seconds.get(category, 0.0) + seconds
+
+    def add_bytes(self, category: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative bytes for {category}: {nbytes}")
+        self.nbytes[category] = self.nbytes.get(category, 0) + nbytes
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def total_bytes(self) -> int:
+        return sum(self.nbytes.values())
+
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        for k, v in other.seconds.items():
+            self.add_time(k, v)
+        for k, v in other.nbytes.items():
+            self.add_bytes(k, v)
+        return self
+
+    def as_dict(self) -> dict:
+        return {"seconds": dict(self.seconds), "nbytes": dict(self.nbytes)}
+
+
+@dataclass
+class SimClock:
+    """One rank's simulated wall clock with a category ledger."""
+
+    now: float = 0.0
+    ledger: CostLedger = field(default_factory=CostLedger)
+
+    def advance(self, seconds: float, category: str = "compute") -> float:
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self.now += seconds
+        self.ledger.add_time(category, seconds)
+        return self.now
+
+    def sync_to(self, t: float, category: str = "wait") -> float:
+        """Jump forward to absolute time `t` (barrier semantics); time
+        spent waiting is charged to `category`.  No-op if already past."""
+        if t > self.now:
+            self.ledger.add_time(category, t - self.now)
+            self.now = t
+        return self.now

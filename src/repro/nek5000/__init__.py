@@ -1,0 +1,14 @@
+"""Nek5000 compatibility layer.
+
+The paper emphasizes that Nek5000 and NekRS share a data model, so one
+``nek_sensei::DataAdaptor`` (kept in a shared submodule) instruments
+both codes.  This package mirrors that: :class:`Nek5000Solver` is the
+legacy CPU-resident flavor of the solver — host arrays (``serial``
+device, so no device-boundary copies), `.usr`-style per-step user hook
+(``userchk``) — and the *same* :class:`repro.insitu.NekDataAdaptor`
+instruments it unchanged (see ``tests/test_nek5000.py``).
+"""
+
+from repro.nek5000.solver import Nek5000Solver
+
+__all__ = ["Nek5000Solver"]

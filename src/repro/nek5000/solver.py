@@ -1,0 +1,39 @@
+"""The legacy-flavored solver: CPU arrays and .usr-style hooks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nekrs.config import CaseDefinition
+from repro.nekrs.solver import NekRSSolver, StepReport
+from repro.occa import Device
+from repro.parallel.comm import Communicator
+
+
+class Nek5000Solver(NekRSSolver):
+    """Nek5000-style driver over the shared SEM/NS core.
+
+    Differences from :class:`NekRSSolver`, mirroring the real codes:
+
+    - fields are host-resident (``serial`` OCCA device): the SENSEI
+      adaptor's ``copy_to_host`` becomes free, exactly as coupling
+      Nek5000 avoids the GPU->CPU transfer NekRS pays;
+    - a ``userchk(solver, report)`` callback runs after every step —
+      the `.usr` file hook where Nek5000 users put runtime diagnostics
+      and where the original SENSEI instrumentation was invoked from.
+    """
+
+    def __init__(
+        self,
+        case: CaseDefinition,
+        comm: Communicator,
+        userchk: Callable[["Nek5000Solver", StepReport], None] | None = None,
+    ):
+        super().__init__(case, comm, Device("serial"))
+        self.userchk = userchk
+
+    def step(self) -> StepReport:
+        report = super().step()
+        if self.userchk is not None:
+            self.userchk(self, report)
+        return report

@@ -1,0 +1,21 @@
+"""Science cases used by the paper's evaluation.
+
+- :mod:`repro.nekrs.cases.pebble_bed` — the in situ test bench: a
+  pb146-analog pebble-bed reactor core flow (Section 4.1),
+- :mod:`repro.nekrs.cases.rayleigh_benard` — the in transit weak-scaling
+  workload: Rayleigh-Benard mesoscale convection (Section 4.2),
+- :mod:`repro.nekrs.cases.lid_cavity` — a small verification standard
+  (not in the paper; used by tests and the quickstart example).
+"""
+
+from repro.nekrs.cases.pebble_bed import pebble_bed_case, pebble_centers
+from repro.nekrs.cases.rayleigh_benard import rayleigh_benard_case, weak_scaled_rbc_case
+from repro.nekrs.cases.lid_cavity import lid_cavity_case
+
+__all__ = [
+    "pebble_bed_case",
+    "pebble_centers",
+    "rayleigh_benard_case",
+    "weak_scaled_rbc_case",
+    "lid_cavity_case",
+]

@@ -1,0 +1,522 @@
+"""The incompressible Navier-Stokes time stepper (NekRS analog).
+
+Discretization: P_N-P_N spectral elements with the classic splitting —
+
+1. **temperature** (if active): BDF/EXT advection-diffusion solve,
+2. **advection**: explicit EXT_k extrapolation of -(u.grad)u + f,
+3. **pressure**: Poisson solve enforcing the divergence constraint on
+   the extrapolated tentative velocity,
+4. **viscous**: implicit Helmholtz solve per velocity component, with
+   the Brinkman drag chi(x) u (immersed obstacles) folded into the
+   zeroth-order implicit coefficient.
+
+All linear solves are Jacobi-preconditioned CG over gather-scattered,
+masked operators; inner products reduce across the communicator.
+
+Fields live in ``repro.occa`` device buffers wrapping the solver's
+arrays; the in situ layer must pull them through ``copy_to_host``,
+which meters the GPU->CPU traffic the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nekrs.config import CaseDefinition
+from repro.nekrs.timestepper import bdf_coefficients, effective_order, ext_coefficients
+from repro.occa import Device, DeviceMemory
+from repro.parallel.comm import Communicator, ReduceOp
+from repro.sem.krylov import cg_solve
+from repro.sem.mesh import BoxMesh
+from repro.sem.operators import SEMOperators
+from repro.sem.quadrature import gll_nodes_weights
+from repro.util.timing import StopWatch
+
+
+@dataclass
+class StepReport:
+    """Diagnostics for one completed timestep."""
+
+    step: int
+    time: float
+    cfl: float
+    pressure_iterations: int
+    velocity_iterations: int
+    scalar_iterations: int
+    divergence_norm: float
+    wall_seconds: float
+
+
+class NekRSSolver:
+    """Time integrator for a :class:`CaseDefinition` on one rank group."""
+
+    def __init__(
+        self,
+        case: CaseDefinition,
+        comm: Communicator,
+        device: Device | None = None,
+    ):
+        self.case = case
+        self.comm = comm
+        self.device = device or Device("serial")
+        self.mesh = BoxMesh(
+            case.mesh_shape,
+            case.extent,
+            order=case.order,
+            periodic=case.periodic,
+            rank=comm.rank,
+            size=comm.size,
+        )
+        self.ops = SEMOperators(self.mesh, comm)
+        self.watch = StopWatch()
+
+        shape = self.mesh.field_shape()
+        x, y, z = self.mesh.coords()
+
+        # -- persistent state ------------------------------------------------
+        self.u = np.zeros(shape)
+        self.v = np.zeros(shape)
+        self.w = np.zeros(shape)
+        self.p = np.zeros(shape)
+        self.T = np.zeros(shape) if case.has_temperature else None
+        if case.initial_velocity is not None:
+            u0, v0, w0 = case.initial_velocity(x, y, z)
+            self.u[:] = u0
+            self.v[:] = v0
+            self.w[:] = w0
+        if self.T is not None and case.initial_temperature is not None:
+            self.T[:] = case.initial_temperature(x, y, z)
+        self.scalars: dict[str, np.ndarray] = {}
+        for spec in case.passive_scalars:
+            field = np.zeros(shape)
+            if spec.initial is not None:
+                field[:] = spec.initial(x, y, z)
+            self.scalars[spec.name] = field
+
+        # histories for BDF (velocity/temperature/scalars) and EXT
+        # (their advection terms)
+        k = case.time_order
+        self._hist_u: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._hist_T: list[np.ndarray] = []
+        self._hist_adv: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._hist_advT: list[np.ndarray] = []
+        self._hist_s: dict[str, list[np.ndarray]] = {n: [] for n in self.scalars}
+        self._hist_advS: dict[str, list[np.ndarray]] = {n: [] for n in self.scalars}
+        self._max_hist = k
+
+        # -- masks & boundary machinery ---------------------------------------
+        vel_faces = list(case.velocity_bcs.keys())
+        self.velocity_mask = ~self.mesh.boundary_union(vel_faces) if vel_faces else np.ones(shape, dtype=bool)
+        self.pressure_mask = (
+            ~self.mesh.boundary_union(case.pressure_dirichlet)
+            if case.pressure_dirichlet
+            else np.ones(shape, dtype=bool)
+        )
+        self.pressure_needs_mean_fix = len(case.pressure_dirichlet) == 0
+        temp_faces = list(case.temperature_bcs.keys())
+        self.temperature_mask = (
+            ~self.mesh.boundary_union(temp_faces)
+            if temp_faces
+            else np.ones(shape, dtype=bool)
+        )
+        self.scalar_masks: dict[str, np.ndarray] = {}
+        for spec in case.passive_scalars:
+            faces = list(spec.bcs.keys())
+            self.scalar_masks[spec.name] = (
+                ~self.mesh.boundary_union(faces)
+                if faces
+                else np.ones(shape, dtype=bool)
+            )
+
+        # Brinkman penalty field (zero = fluid)
+        if case.brinkman is not None:
+            self.chi = np.asarray(case.brinkman(x, y, z), dtype=float)
+            if self.chi.shape != shape:
+                self.chi = np.broadcast_to(self.chi, shape).copy()
+            if (self.chi < 0).any():
+                raise ValueError("Brinkman penalty chi must be non-negative")
+        else:
+            self.chi = None
+
+        # -- preconditioners (depend on dt through h0; built lazily) -------------
+        self._pre_cache: dict[tuple, np.ndarray] = {}
+
+        # minimum GLL spacing for CFL
+        ref, _ = gll_nodes_weights(case.order)
+        min_ref = float(np.diff(ref).min())
+        self._min_dx = tuple(h * min_ref / 2.0 for h in self.mesh.elem_sizes)
+
+        self.step_index = 0
+        self.time = 0.0
+        self._convect = (
+            self.ops.convect_dealiased if case.dealias else self.ops.convect
+        )
+
+        # -- device residency -----------------------------------------------------
+        self.device_fields: dict[str, DeviceMemory] = {
+            "velocity_x": DeviceMemory(self.device, self.u),
+            "velocity_y": DeviceMemory(self.device, self.v),
+            "velocity_z": DeviceMemory(self.device, self.w),
+            "pressure": DeviceMemory(self.device, self.p),
+        }
+        if self.T is not None:
+            self.device_fields["temperature"] = DeviceMemory(self.device, self.T)
+        for name, field in self.scalars.items():
+            self.device_fields[name] = DeviceMemory(self.device, field)
+
+    # ------------------------------------------------------------------
+    # boundary conditions
+    # ------------------------------------------------------------------
+    def _velocity_bc_fields(self, t: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fields holding Dirichlet values at BC nodes, zero elsewhere."""
+        shape = self.mesh.field_shape()
+        ub = np.zeros(shape)
+        vb = np.zeros(shape)
+        wb = np.zeros(shape)
+        x, y, z = self.mesh.coords()
+        for tag, bc in self.case.velocity_bcs.items():
+            nodes = self.mesh.boundary_nodes(tag)
+            uu, vv, ww = bc.evaluate(x, y, z, t)
+            ub[nodes] = uu[nodes]
+            vb[nodes] = vv[nodes]
+            wb[nodes] = ww[nodes]
+        return ub, vb, wb
+
+    def _temperature_bc_field(self, t: float) -> np.ndarray:
+        Tb = np.zeros(self.mesh.field_shape())
+        x, y, z = self.mesh.coords()
+        for tag, bc in self.case.temperature_bcs.items():
+            nodes = self.mesh.boundary_nodes(tag)
+            Tb[nodes] = bc.evaluate(x, y, z, t)[nodes]
+        return Tb
+
+    # ------------------------------------------------------------------
+    # linear solves
+    # ------------------------------------------------------------------
+    def _jacobi(self, h1: float, h0, mask: np.ndarray, key: str) -> np.ndarray:
+        """Inverse diagonal of the masked assembled Helmholtz operator.
+
+        `key` must encode everything that varies (field, h1, the scalar
+        part of h0): h0 arrays (Brinkman) are static per run, so a
+        well-chosen key makes the cache exact and bounded.
+        """
+        cache_key = (key, float(h1))
+        pre = self._pre_cache.get(cache_key)
+        if pre is None:
+            diag = self.ops.stiffness_diagonal(h1, h0)
+            pre = np.where(diag > 0, 1.0 / np.where(diag > 0, diag, 1.0), 0.0)
+            pre *= mask
+            self._pre_cache[cache_key] = pre
+        return pre
+
+    def _helmholtz_solve(
+        self,
+        rhs_local: np.ndarray,
+        lift: np.ndarray,
+        h1: float,
+        h0,
+        mask: np.ndarray,
+        tol: float,
+        key: str,
+    ):
+        """Solve (h1 A + h0 B) x = rhs with Dirichlet values in `lift`."""
+
+        def apply_masked(f):
+            return self.ops.assemble(self.ops.helmholtz_apply(f, h1, h0)) * mask
+
+        b = (
+            self.ops.assemble(rhs_local - self.ops.helmholtz_apply(lift, h1, h0))
+            * mask
+        )
+        pre = self._jacobi(h1, h0, mask, key)
+        result = cg_solve(
+            apply_masked,
+            b,
+            self.ops.dot,
+            precond=pre,
+            tol=tol,
+            max_iterations=self.case.max_iterations,
+        )
+        return result.x + lift, result
+
+    # ------------------------------------------------------------------
+    # physics terms
+    # ------------------------------------------------------------------
+    def _advection_terms(self, t: float):
+        """-(u.grad)u + f at the current state (pointwise)."""
+        Nx = -self._convect(self.u, self.u, self.v, self.w)
+        Ny = -self._convect(self.v, self.u, self.v, self.w)
+        Nz = -self._convect(self.w, self.u, self.v, self.w)
+        if self.case.forcing is not None:
+            x, y, z = self.mesh.coords()
+            fx, fy, fz = self.case.forcing(x, y, z, t, self.T)
+            Nx = Nx + fx
+            Ny = Ny + fy
+            Nz = Nz + fz
+        return Nx, Ny, Nz
+
+    def _advection_term_T(self, t: float) -> np.ndarray:
+        NT = -self._convect(self.T, self.u, self.v, self.w)
+        if self.case.heat_source is not None:
+            x, y, z = self.mesh.coords()
+            NT = NT + self.case.heat_source(x, y, z, t)
+        return NT
+
+    def _bdf_sum(self, history: list, b: tuple[float, ...]):
+        """sum_j b[j] * history[-1-j] for tuple-of-fields histories."""
+        first = history[-1]
+        if isinstance(first, tuple):
+            n = len(first)
+            out = [b[0] * first[i] for i in range(n)]
+            for j in range(1, len(b)):
+                for i in range(n):
+                    out[i] = out[i] + b[j] * history[-1 - j][i]
+            return tuple(out)
+        out = b[0] * first
+        for j in range(1, len(b)):
+            out = out + b[j] * history[-1 - j]
+        return out
+
+    # ------------------------------------------------------------------
+    # main step
+    # ------------------------------------------------------------------
+    def step(self) -> StepReport:
+        """Advance one timestep; returns diagnostics."""
+        import time as _time
+
+        t_begin = _time.perf_counter()
+        case = self.case
+        dt = case.dt
+        t_new = self.time + dt
+
+        order = effective_order(case.time_order, self.step_index)
+        b0, b = bdf_coefficients(order)
+        a = ext_coefficients(order)
+
+        # record current state into histories before overwriting
+        self._hist_u.append((self.u.copy(), self.v.copy(), self.w.copy()))
+        if self.T is not None:
+            self._hist_T.append(self.T.copy())
+        for name, field in self.scalars.items():
+            self._hist_s[name].append(field.copy())
+
+        # ---- temperature ---------------------------------------------------
+        scalar_iters = 0
+        if self.T is not None:
+            with self.watch.phase("scalar"):
+                self._hist_advT.append(self._advection_term_T(self.time))
+                NT_ext = self._bdf_sum(self._hist_advT[-len(a) :], a)
+                T_hat = self._bdf_sum(self._hist_T[-len(b) :], b)
+                rho_cp = case.density * case.heat_capacity
+                h0 = rho_cp * b0 / dt
+                rhs = self.ops.mass_apply(rho_cp * (T_hat / dt + NT_ext))
+                Tb = self._temperature_bc_field(t_new)
+                Tb = Tb * ~self.temperature_mask
+                Tnew, result = self._helmholtz_solve(
+                    rhs,
+                    Tb,
+                    case.conductivity,
+                    h0,
+                    self.temperature_mask,
+                    case.scalar_tol,
+                    f"temperature:h0={h0:.6e}",
+                )
+                self.T[:] = Tnew
+                scalar_iters = result.iterations
+
+        # ---- passive scalars ------------------------------------------------
+        for spec in case.passive_scalars:
+            with self.watch.phase("scalar"):
+                name = spec.name
+                field = self.scalars[name]
+                adv = -self._convect(field, self.u, self.v, self.w)
+                if spec.source is not None:
+                    x, y, z = self.mesh.coords()
+                    adv = adv + spec.source(x, y, z, self.time)
+                self._hist_advS[name].append(adv)
+                NS_ext = self._bdf_sum(self._hist_advS[name][-len(a) :], a)
+                s_hat = self._bdf_sum(self._hist_s[name][-len(b) :], b)
+                h0 = b0 / dt
+                rhs = self.ops.mass_apply(s_hat / dt + NS_ext)
+                sb = np.zeros(self.mesh.field_shape())
+                if spec.bcs:
+                    x, y, z = self.mesh.coords()
+                    for tag, bc in spec.bcs.items():
+                        nodes = self.mesh.boundary_nodes(tag)
+                        sb[nodes] = bc.evaluate(x, y, z, t_new)[nodes]
+                mask = self.scalar_masks[name]
+                snew, result = self._helmholtz_solve(
+                    rhs,
+                    sb * ~mask,
+                    spec.diffusivity,
+                    h0,
+                    mask,
+                    case.scalar_tol,
+                    f"scalar:{name}:h0={h0:.6e}",
+                )
+                field[:] = snew
+                scalar_iters += result.iterations
+
+        # ---- advection / tentative velocity ------------------------------------
+        with self.watch.phase("advection"):
+            self._hist_adv.append(self._advection_terms(self.time))
+            Nx, Ny, Nz = self._bdf_sum(self._hist_adv[-len(a) :], a)
+            uh, vh, wh = self._bdf_sum(self._hist_u[-len(b) :], b)
+            us = (uh + dt * Nx) / b0
+            vs = (vh + dt * Ny) / b0
+            ws = (wh + dt * Nz) / b0
+            # embed Dirichlet values so the pressure sees inflow flux
+            ub, vb, wb = self._velocity_bc_fields(t_new)
+            bc_nodes = ~self.velocity_mask
+            us[bc_nodes] = ub[bc_nodes]
+            vs[bc_nodes] = vb[bc_nodes]
+            ws[bc_nodes] = wb[bc_nodes]
+
+        # ---- pressure Poisson -----------------------------------------------
+        with self.watch.phase("pressure"):
+            div_star = self.ops.div(us, vs, ws)
+            rp = self.ops.assemble(self.ops.mass_apply(-(b0 / dt) * div_star))
+            rp *= self.pressure_mask
+            project = (
+                self.ops.project_out_nullspace
+                if self.pressure_needs_mean_fix
+                else None
+            )
+
+            def apply_pressure(f):
+                return self.ops.assemble(self.ops.stiffness_apply(f)) * self.pressure_mask
+
+            pre_p = self._jacobi(1.0, 0.0, self.pressure_mask, "pressure")
+            pres = cg_solve(
+                apply_pressure,
+                rp,
+                self.ops.dot,
+                precond=pre_p,
+                x0=self.p * self.pressure_mask,
+                tol=case.pressure_tol,
+                max_iterations=case.max_iterations,
+                project_nullspace=project,
+            )
+            self.p[:] = pres.x
+            px, py, pz = self.ops.grad(self.ops.continuize(self.p))
+            us = us - (dt / b0) * px
+            vs = vs - (dt / b0) * py
+            ws = ws - (dt / b0) * pz
+
+        # ---- viscous Helmholtz solves -----------------------------------------
+        with self.watch.phase("viscous"):
+            h0_scalar = case.density * b0 / dt
+            h0 = h0_scalar if self.chi is None else h0_scalar + self.chi
+            vel_iters = 0
+            new_vel = []
+            vel_key = f"velocity:h0={h0_scalar:.6e}"
+            for comp, (star, lift_field) in enumerate(
+                ((us, ub), (vs, vb), (ws, wb))
+            ):
+                rhs = self.ops.mass_apply(case.density * (b0 / dt) * star)
+                lift = lift_field * bc_nodes
+                sol, result = self._helmholtz_solve(
+                    rhs,
+                    lift,
+                    case.viscosity,
+                    h0,
+                    self.velocity_mask,
+                    case.velocity_tol,
+                    vel_key,
+                )
+                new_vel.append(sol)
+                vel_iters += result.iterations
+            self.u[:] = new_vel[0]
+            self.v[:] = new_vel[1]
+            self.w[:] = new_vel[2]
+
+        # ---- bookkeeping -----------------------------------------------------
+        all_hists = [self._hist_u, self._hist_T, self._hist_adv, self._hist_advT]
+        all_hists.extend(self._hist_s.values())
+        all_hists.extend(self._hist_advS.values())
+        for hist in all_hists:
+            while len(hist) > self._max_hist:
+                hist.pop(0)
+
+        self.step_index += 1
+        self.time = t_new
+
+        div_now = self.ops.div(self.u, self.v, self.w)
+        div_norm = self.ops.norm(div_now)
+        cfl = self.cfl()
+        wall = _time.perf_counter() - t_begin
+        self.watch.add_sample("step", wall)
+        return StepReport(
+            step=self.step_index,
+            time=self.time,
+            cfl=cfl,
+            pressure_iterations=pres.iterations,
+            velocity_iterations=vel_iters,
+            scalar_iterations=scalar_iters,
+            divergence_norm=div_norm,
+            wall_seconds=wall,
+        )
+
+    def run(self, num_steps: int | None = None, observer=None) -> list[StepReport]:
+        """Advance `num_steps` (default: the case's) steps.
+
+        `observer(solver, report)` is called after every step — this is
+        the hook the SENSEI bridge attaches to.
+        """
+        n = self.case.num_steps if num_steps is None else num_steps
+        reports = []
+        for _ in range(n):
+            report = self.step()
+            reports.append(report)
+            if observer is not None:
+                observer(self, report)
+        return reports
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def cfl(self) -> float:
+        """Global advective CFL number of the current state."""
+        dxi = (
+            np.abs(self.u) / self._min_dx[0]
+            + np.abs(self.v) / self._min_dx[1]
+            + np.abs(self.w) / self._min_dx[2]
+        )
+        local = float(dxi.max()) * self.case.dt if dxi.size else 0.0
+        return float(self.comm.allreduce(local, ReduceOp.MAX))
+
+    def kinetic_energy(self) -> float:
+        """Global volume-integrated kinetic energy."""
+        ke = 0.5 * (self.u**2 + self.v**2 + self.w**2)
+        return self.ops.integrate(ke)
+
+    def memory_bytes(self) -> int:
+        """Bytes held in persistent solver state on this rank."""
+        total = sum(
+            f.nbytes
+            for f in (self.u, self.v, self.w, self.p)
+        )
+        if self.T is not None:
+            total += self.T.nbytes
+        for hist in (self._hist_u, self._hist_adv):
+            for entry in hist:
+                total += sum(f.nbytes for f in entry)
+        scalar_hists = [self._hist_T, self._hist_advT]
+        scalar_hists.extend(self._hist_s.values())
+        scalar_hists.extend(self._hist_advS.values())
+        for hist in scalar_hists:
+            for entry in hist:
+                total += entry.nbytes
+        total += sum(f.nbytes for f in self.scalars.values())
+        if self.chi is not None:
+            total += self.chi.nbytes
+        # mesh coordinates + geometric factors + numbering
+        total += self.mesh.x.nbytes * 3
+        total += self.ops.geom.mass.nbytes * 4  # mass + grr/gss/gtt
+        total += self.mesh.global_ids.nbytes
+        return total
+
+    def local_gridpoints(self) -> int:
+        return int(np.prod(self.mesh.field_shape()))

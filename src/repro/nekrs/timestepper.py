@@ -1,0 +1,51 @@
+"""BDF_k / EXT_k time-integration coefficients.
+
+NekRS advances the Navier-Stokes equations with implicit backward
+differentiation (BDF) on the linear terms and explicit extrapolation
+(EXT) of the nonlinear/advective terms of matching order.  The first
+steps of a run ramp the order up (BDF1 -> BDF2 -> BDF3) because no
+history exists yet.
+
+Convention: for d/dt u at t^{n+1},
+
+    du/dt ~ (b0 * u^{n+1} - sum_j b[j] * u^{n-j}) / dt
+
+and the explicit extrapolation of a term N is
+
+    N^{n+1} ~ sum_j a[j] * N^{n-j}.
+"""
+
+from __future__ import annotations
+
+_BDF = {
+    1: (1.0, (1.0,)),
+    2: (1.5, (2.0, -0.5)),
+    3: (11.0 / 6.0, (3.0, -1.5, 1.0 / 3.0)),
+}
+
+_EXT = {
+    1: (1.0,),
+    2: (2.0, -1.0),
+    3: (3.0, -3.0, 1.0),
+}
+
+
+def bdf_coefficients(order: int) -> tuple[float, tuple[float, ...]]:
+    """(b0, (b1..bk)) for BDF of the given order (1..3)."""
+    if order not in _BDF:
+        raise ValueError(f"BDF order must be 1..3, got {order}")
+    return _BDF[order]
+
+
+def ext_coefficients(order: int) -> tuple[float, ...]:
+    """(a1..ak) extrapolation weights for EXT of the given order (1..3)."""
+    if order not in _EXT:
+        raise ValueError(f"EXT order must be 1..3, got {order}")
+    return _EXT[order]
+
+
+def effective_order(target_order: int, step_index: int) -> int:
+    """Order usable at `step_index` (0-based): ramps 1, 2, ..., target."""
+    if target_order < 1:
+        raise ValueError("target_order must be >= 1")
+    return min(target_order, step_index + 1)

@@ -1,0 +1,258 @@
+"""Communicator interface, reduce operations, and traffic metering.
+
+The interface follows mpi4py conventions loosely: lowercase methods
+exchange arbitrary Python objects (NumPy arrays are passed by
+reference between ranks since everything lives in one address space —
+receivers must treat them as read-only or copy).  A few array-aware
+helpers (`allreduce_array`) avoid per-call object overhead in solver
+hot loops.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import pickle
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    """Reduction operators supported by reduce/allreduce."""
+
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    PROD = "prod"
+    LAND = "land"
+    LOR = "lor"
+
+
+def _combine(op: ReduceOp, values):
+    """Combine a list of values (scalars or same-shape arrays)."""
+    if not values:
+        raise ValueError("cannot reduce zero values")
+    if isinstance(values[0], np.ndarray):
+        stack = np.stack(values)
+        if op is ReduceOp.SUM:
+            return stack.sum(axis=0)
+        if op is ReduceOp.MIN:
+            return stack.min(axis=0)
+        if op is ReduceOp.MAX:
+            return stack.max(axis=0)
+        if op is ReduceOp.PROD:
+            return stack.prod(axis=0)
+        if op is ReduceOp.LAND:
+            return np.logical_and.reduce(stack, axis=0)
+        if op is ReduceOp.LOR:
+            return np.logical_or.reduce(stack, axis=0)
+    else:
+        if op is ReduceOp.SUM:
+            return sum(values)
+        if op is ReduceOp.MIN:
+            return min(values)
+        if op is ReduceOp.MAX:
+            return max(values)
+        if op is ReduceOp.PROD:
+            out = values[0]
+            for v in values[1:]:
+                out = out * v
+            return out
+        if op is ReduceOp.LAND:
+            return all(values)
+        if op is ReduceOp.LOR:
+            return any(values)
+    raise ValueError(f"unsupported reduce op {op}")
+
+
+def payload_nbytes(obj) -> int:
+    """Estimate the wire size of a payload.
+
+    NumPy arrays report their buffer size; other objects are sized by
+    their pickle, matching what an MPI pickle-based send would move.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)) and obj and all(
+        isinstance(x, np.ndarray) for x in obj
+    ):
+        return sum(x.nbytes for x in obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One logical communication operation observed by the meter."""
+
+    op: str          # "send", "bcast", "allreduce", ...
+    nbytes: int      # payload bytes per participating message
+    size: int        # communicator size at the time of the call
+    channel: str     # caller-assigned channel label ("solver", "sst", ...)
+
+
+@dataclass
+class TrafficMeter:
+    """Thread-safe accumulator of communication events.
+
+    The meter records *logical* payloads (what the application handed
+    to the communicator); the machine model turns these into modeled
+    wire time using per-operation cost formulas.
+    """
+
+    events: list[TrafficEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, op: str, nbytes: int, size: int, channel: str = "default") -> None:
+        with self._lock:
+            self.events.append(TrafficEvent(op, nbytes, size, channel))
+
+    def total_bytes(self, channel: str | None = None) -> int:
+        with self._lock:
+            return sum(
+                e.nbytes for e in self.events if channel is None or e.channel == channel
+            )
+
+    def count(self, op: str | None = None) -> int:
+        with self._lock:
+            return sum(1 for e in self.events if op is None or e.op == op)
+
+    def by_op(self) -> dict[str, int]:
+        with self._lock:
+            out: dict[str, int] = {}
+            for e in self.events:
+                out[e.op] = out.get(e.op, 0) + e.nbytes
+            return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+
+class Communicator(abc.ABC):
+    """MPI-like communicator over an in-process rank group."""
+
+    #: label applied to recorded traffic; callers may retarget it
+    channel: str = "default"
+
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int:
+        """This rank's index in [0, size)."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of ranks in the group."""
+
+    @property
+    @abc.abstractmethod
+    def meter(self) -> TrafficMeter:
+        """Traffic meter shared by the group."""
+
+    # -- point to point ------------------------------------------------
+    @abc.abstractmethod
+    def send(self, obj, dest: int, tag: int = 0) -> None: ...
+
+    @abc.abstractmethod
+    def recv(self, source: int, tag: int = 0): ...
+
+    # -- collectives ---------------------------------------------------
+    @abc.abstractmethod
+    def barrier(self) -> None: ...
+
+    @abc.abstractmethod
+    def allgather(self, obj) -> list: ...
+
+    def bcast(self, obj, root: int = 0):
+        values = self.allgather(obj if self.rank == root else None)
+        return values[root]
+
+    def gather(self, obj, root: int = 0) -> list | None:
+        values = self.allgather(obj)
+        return values if self.rank == root else None
+
+    def scatter(self, objs, root: int = 0):
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter needs one object per rank at the root")
+        values = self.allgather(objs if self.rank == root else None)
+        return values[root][self.rank]
+
+    def alltoall(self, objs) -> list:
+        """Each rank provides a list of `size` objects; returns column `rank`."""
+        if len(objs) != self.size:
+            raise ValueError("alltoall needs one object per destination rank")
+        matrix = self.allgather(objs)
+        return [row[self.rank] for row in matrix]
+
+    def reduce(self, value, op: ReduceOp = ReduceOp.SUM, root: int = 0):
+        values = self.allgather(value)
+        return _combine(op, values) if self.rank == root else None
+
+    def allreduce(self, value, op: ReduceOp = ReduceOp.SUM):
+        return _combine(op, self.allgather(value))
+
+    def allreduce_array(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        """Elementwise allreduce of a NumPy array."""
+        return self.allreduce(np.asarray(array), op)
+
+    # -- subgroups -----------------------------------------------------
+    @abc.abstractmethod
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the group into subcommunicators by *color*.
+
+        Ranks with equal color land in the same subgroup, ordered by
+        (*key*, rank).  Mirrors ``MPI_Comm_split``.
+        """
+
+    # -- convenience ---------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        return self.rank == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} rank={self.rank} size={self.size}>"
+
+
+class SerialCommunicator(Communicator):
+    """Single-rank communicator; collectives are identities."""
+
+    def __init__(self, meter: TrafficMeter | None = None, channel: str = "default"):
+        self._meter = meter or TrafficMeter()
+        self.channel = channel
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    @property
+    def meter(self) -> TrafficMeter:
+        return self._meter
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        raise RuntimeError("send on a single-rank communicator (no peers)")
+
+    def recv(self, source: int, tag: int = 0):
+        raise RuntimeError("recv on a single-rank communicator (no peers)")
+
+    def barrier(self) -> None:
+        return None
+
+    def allgather(self, obj) -> list:
+        return [obj]
+
+    def split(self, color: int, key: int | None = None) -> "SerialCommunicator":
+        return SerialCommunicator(self._meter, self.channel)

@@ -1,0 +1,70 @@
+"""SPMD driver: launch a rank function across an in-process group.
+
+``run_spmd(nranks, body)`` is the moral equivalent of ``mpiexec -n``:
+it builds the communicator group, runs ``body(comm, *args)`` on every
+rank (threads for nranks > 1, inline for nranks == 1), propagates the
+first exception, and returns the per-rank results.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from repro.parallel.comm import SerialCommunicator, TrafficMeter
+from repro.parallel.thread_comm import ThreadCommunicator
+
+
+def run_spmd(
+    nranks: int,
+    body: Callable,
+    args: Sequence = (),
+    meter: TrafficMeter | None = None,
+    channel: str = "default",
+    timeout: float | None = None,
+) -> list:
+    """Run `body(comm, *args)` on `nranks` ranks; return per-rank results.
+
+    Exceptions raised by any rank abort the whole group: the barrier is
+    broken so peers blocked in collectives fail fast, and the first
+    rank's exception (by rank order) is re-raised in the caller.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    meter = meter or TrafficMeter()
+    if nranks == 1:
+        comm = SerialCommunicator(meter, channel)
+        return [body(comm, *args)]
+
+    comms = ThreadCommunicator.create_group(nranks, meter, channel)
+    if timeout is not None:
+        for c in comms:
+            c.timeout = timeout
+    results: list = [None] * nranks
+    errors: list = [None] * nranks
+
+    def runner(r: int) -> None:
+        try:
+            results[r] = body(comms[r], *args)
+        except BaseException as exc:  # noqa: BLE001 - must capture rank failures
+            errors[r] = exc
+            # Break the group barrier so peers blocked in collectives
+            # raise instead of hanging until timeout.
+            comms[r]._world.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for r, err in enumerate(errors):
+        if err is not None and not isinstance(err, TimeoutError):
+            raise err
+    for r, err in enumerate(errors):
+        if err is not None:
+            raise err
+    return results

@@ -1,0 +1,20 @@
+"""Posthoc (offline) analysis over checkpoint series.
+
+The traditional workflow the paper's in situ approach competes with:
+dump, then analyze later.  Having it implemented makes the comparison
+concrete — and it is what you reach for when a run already happened.
+
+- :mod:`repro.posthoc.series` — discover and load ``.fld`` dump series
+  (any rank count; reassembled to global fields),
+- :mod:`repro.posthoc.stats` — temporal statistics (mean, RMS
+  fluctuation) over a series,
+- :mod:`repro.posthoc.movie` — offline rendering of a series into a
+  PNG frame sequence through the same Catalyst pipeline the in situ
+  path uses.
+"""
+
+from repro.posthoc.series import FldSeries
+from repro.posthoc.stats import temporal_mean, temporal_rms
+from repro.posthoc.movie import render_series
+
+__all__ = ["FldSeries", "temporal_mean", "temporal_rms", "render_series"]

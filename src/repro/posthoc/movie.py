@@ -1,0 +1,94 @@
+"""Offline rendering: dump series -> PNG frame sequence.
+
+Runs the same Catalyst pipeline the in situ path uses, but over data
+read back from disk.  Rebuilding the mesh needs the case definition
+(a .fld dump stores fields, not geometry — matching Nek, whose mesh
+lives in a separate file).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.catalyst.pipeline import RenderPipeline, RenderSpec
+from repro.insitu.adaptor import NekDataAdaptor
+from repro.nekrs.config import CaseDefinition
+from repro.nekrs.solver import NekRSSolver
+from repro.parallel import SerialCommunicator
+from repro.posthoc.series import FldSeries
+from repro.sensei.analyses.catalyst_adaptor import gather_uniform_volume
+from repro.util.png import write_png
+
+_FIELD_TARGETS = (
+    "velocity_x", "velocity_y", "velocity_z", "pressure", "temperature",
+)
+
+
+def render_series(
+    series: FldSeries,
+    case: CaseDefinition,
+    output_dir,
+    arrays: tuple[str, ...] = ("pressure",),
+    specs: list[RenderSpec] | None = None,
+    width: int = 512,
+    height: int = 512,
+    frame_delay_ms: int = 120,
+) -> list[Path]:
+    """Render every dump of `series`; returns the written frame paths.
+
+    `case` must describe the mesh the series was written from (shape,
+    extent, order) — mismatches are detected and rejected.
+    """
+    comm = SerialCommunicator()
+    solver = NekRSSolver(case, comm)
+    _, first_fields = series.load(series.steps[0])
+    global_shape = next(iter(first_fields.values())).shape
+    if global_shape != solver.mesh.field_shape():
+        raise ValueError(
+            f"case mesh {solver.mesh.field_shape()} does not match series "
+            f"dumps {global_shape} (reassembled); pass the case the run used"
+        )
+
+    if specs is None:
+        specs = [RenderSpec(kind="slice", array=arrays[0], axis="y")]
+    pipeline = RenderPipeline(
+        specs=specs, width=width, height=height, name=series.case
+    )
+    adaptor = NekDataAdaptor(solver)
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    frames: list[Path] = []
+    animation_frames: dict[str, list[np.ndarray]] = {}
+    for header, fields in series.iter_loaded():
+        for name, arr in fields.items():
+            target = {
+                "velocity_x": solver.u, "velocity_y": solver.v,
+                "velocity_z": solver.w, "pressure": solver.p,
+                "temperature": solver.T,
+            }.get(name)
+            if target is not None:
+                target[:] = arr
+            elif name in solver.scalars:
+                solver.scalars[name][:] = arr
+        adaptor.release_data()
+        adaptor.set_data_time_step(header.step)
+        adaptor.set_data_time(header.time)
+        image = gather_uniform_volume(comm, adaptor, "uniform", tuple(arrays))
+        for name, frame in pipeline.render(image, header.step, header.time):
+            path = output_dir / f"{name}_{header.step:06d}.png"
+            write_png(path, frame)
+            frames.append(path)
+            animation_frames.setdefault(name, []).append(frame)
+
+    # one self-playing animated PNG per output stream
+    from repro.util.apng import write_apng
+
+    for name, sequence in animation_frames.items():
+        if len(sequence) > 1:
+            path = output_dir / f"{name}.apng"
+            write_apng(path, sequence, delay_ms=frame_delay_ms)
+            frames.append(path)
+    return frames

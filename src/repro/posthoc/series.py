@@ -1,0 +1,130 @@
+"""Discovery and loading of .fld dump series.
+
+A "dump" is the set of per-rank files one checkpoint action wrote
+(``<case>0.f<step>.r<rank>``); a *series* is all dumps under one
+directory.  Loading reassembles each rank's element slab into global
+fields using the same block partition the writing mesh used, so a
+series written on any rank count reads back as one coherent field.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.nekrs.checkpoint import CheckpointHeader, read_checkpoint
+from repro.parallel.partition import block_range
+
+_NAME_RE = re.compile(r"^(?P<case>.+)0\.f(?P<step>\d{5})\.r(?P<rank>\d{4})$")
+
+
+@dataclass(frozen=True)
+class DumpInfo:
+    step: int
+    time: float
+    size: int                       # rank count that wrote it
+    paths: tuple[Path, ...]         # one per rank, ordered by rank
+    field_names: tuple[str, ...]
+
+
+class FldSeries:
+    """All dumps of one case under a directory, ordered by step."""
+
+    def __init__(self, case: str, dumps: list[DumpInfo]):
+        self.case = case
+        self.dumps = sorted(dumps, key=lambda d: d.step)
+
+    @classmethod
+    def discover(cls, directory, case: str | None = None) -> "FldSeries":
+        directory = Path(directory)
+        groups: dict[tuple[str, int], dict[int, Path]] = {}
+        for path in directory.iterdir():
+            m = _NAME_RE.match(path.name)
+            if not m:
+                continue
+            if case is not None and m.group("case") != case:
+                continue
+            key = (m.group("case"), int(m.group("step")))
+            groups.setdefault(key, {})[int(m.group("rank"))] = path
+        if not groups:
+            raise FileNotFoundError(
+                f"no .fld dumps{f' for case {case!r}' if case else ''} "
+                f"under {directory}"
+            )
+        cases = {c for c, _ in groups}
+        if len(cases) > 1:
+            raise ValueError(
+                f"multiple cases in {directory}: {sorted(cases)}; pass case="
+            )
+        found_case = next(iter(cases))
+        dumps = []
+        for (c, step), by_rank in groups.items():
+            header, _ = read_checkpoint(by_rank[0])
+            ranks = sorted(by_rank)
+            if ranks != list(range(header.size)):
+                raise ValueError(
+                    f"dump at step {step} is incomplete: have ranks {ranks}, "
+                    f"expected 0..{header.size - 1}"
+                )
+            dumps.append(
+                DumpInfo(
+                    step=step,
+                    time=header.time,
+                    size=header.size,
+                    paths=tuple(by_rank[r] for r in ranks),
+                    field_names=header.field_names,
+                )
+            )
+        return cls(found_case, dumps)
+
+    @property
+    def steps(self) -> list[int]:
+        return [d.step for d in self.dumps]
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return self.dumps[0].field_names
+
+    def __len__(self) -> int:
+        return len(self.dumps)
+
+    def load(self, step: int) -> tuple[CheckpointHeader, dict[str, np.ndarray]]:
+        """Load one dump, reassembled into global (E_total, ...) fields.
+
+        Writers own contiguous element slabs (block partition of the
+        lexicographic order), so global element index = slab offset +
+        local index.
+        """
+        dump = next((d for d in self.dumps if d.step == step), None)
+        if dump is None:
+            raise KeyError(f"series has no dump at step {step}; have {self.steps}")
+        headers = []
+        pieces = []
+        for path in dump.paths:
+            header, fields = read_checkpoint(path)
+            headers.append(header)
+            pieces.append(fields)
+        local_counts = [h.field_shape[0] for h in headers]
+        total_e = sum(local_counts)
+        nq = headers[0].field_shape[1]
+        out: dict[str, np.ndarray] = {
+            name: np.empty((total_e, nq, nq, nq)) for name in dump.field_names
+        }
+        for rank, (header, fields) in enumerate(zip(headers, pieces)):
+            lo, hi = block_range(total_e, header.size, rank)
+            if hi - lo != header.field_shape[0]:
+                raise ValueError(
+                    f"rank {rank} slab size mismatch in dump {step} "
+                    "(was this written with a non-slab partition?)"
+                )
+            for name in dump.field_names:
+                out[name][lo:hi] = fields[name]
+        return headers[0], out
+
+    def iter_loaded(self):
+        """Yield (header, fields) for every dump in step order."""
+        for dump in self.dumps:
+            yield self.load(dump.step)

@@ -1,0 +1,50 @@
+"""Temporal statistics over dump series.
+
+Classic turbulence post-processing: time-mean fields and RMS
+fluctuations accumulated over the dumps of a series.  Single-pass
+(Welford over fields), so arbitrarily long series stream through
+constant memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.posthoc.series import FldSeries
+
+
+def _accumulate(series: FldSeries, array: str):
+    count = 0
+    mean = None
+    m2 = None
+    for _, fields in series.iter_loaded():
+        if array not in fields:
+            raise KeyError(
+                f"series has no array {array!r}; have {series.field_names}"
+            )
+        value = fields[array]
+        count += 1
+        if mean is None:
+            mean = value.copy()
+            m2 = np.zeros_like(value)
+        else:
+            delta = value - mean
+            mean += delta / count
+            m2 += delta * (value - mean)
+    return count, mean, m2
+
+
+def temporal_mean(series: FldSeries, array: str) -> np.ndarray:
+    """Time-average of one field over all dumps."""
+    count, mean, _ = _accumulate(series, array)
+    if count == 0:
+        raise ValueError("empty series")
+    return mean
+
+
+def temporal_rms(series: FldSeries, array: str) -> np.ndarray:
+    """RMS fluctuation about the time mean (population convention)."""
+    count, _, m2 = _accumulate(series, array)
+    if count == 0:
+        raise ValueError("empty series")
+    return np.sqrt(m2 / count)

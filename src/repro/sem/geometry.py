@@ -1,0 +1,53 @@
+"""Geometric factors for SEM operators.
+
+For each element the mapping from the reference cube [-1,1]^3 to
+physical space yields the Jacobian J and the metric derivatives
+(dr/dx, ds/dy, dt/dz).  BoxMesh elements are axis-aligned, so the
+metric tensor is diagonal and constant per element — but the factors
+are stored as full per-quad-point arrays, which is the layout general
+curvilinear SEM uses, so the operator code is geometry-agnostic.
+
+Stored arrays (all shaped like fields, ``(E, Nq, Nq, Nq)``):
+
+``mass``
+    w3d * J — the diagonal lumped mass matrix ("B" in Nek).
+``grr, gss, gtt``
+    w3d * J * (dr/dx)^2 etc. — diagonal stiffness factors ("G").
+``rx, sy, tz``
+    metric derivatives for chain-rule physical gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sem.mesh import BoxMesh
+
+
+class GeometricFactors:
+    def __init__(self, mesh: BoxMesh):
+        self.mesh = mesh
+        nq = mesh.nq
+        w = mesh.weights_1d
+        w3d = w[None, :, None, None] * w[None, None, :, None] * w[None, None, None, :]
+
+        hx, hy, hz = mesh.elem_sizes
+        jac = (hx / 2.0) * (hy / 2.0) * (hz / 2.0)
+        shape = mesh.field_shape()
+
+        self.jacobian = np.full(shape, jac)
+        self.mass = np.broadcast_to(w3d * jac, shape).copy()
+
+        rx, sy, tz = 2.0 / hx, 2.0 / hy, 2.0 / hz
+        self.rx = np.full(shape, rx)
+        self.sy = np.full(shape, sy)
+        self.tz = np.full(shape, tz)
+
+        self.grr = self.mass * rx * rx
+        self.gss = self.mass * sy * sy
+        self.gtt = self.mass * tz * tz
+
+    @property
+    def total_volume_local(self) -> float:
+        """Sum of quadrature weights = volume of the local elements."""
+        return float(self.mass.sum())

@@ -1,0 +1,178 @@
+"""Discrete SEM operators: mass, stiffness, Helmholtz, gradient, divergence.
+
+All operators act on fields shaped ``(E, Nq, Nq, Nq)`` and are *local*
+(unassembled): solvers compose them with gather-scatter and boundary
+masks.  The weak Laplacian follows the standard factored form
+
+    A f = D_r^T (G_rr D_r f) + D_s^T (G_ss D_s f) + D_t^T (G_tt D_t f)
+
+with the geometric factors of :class:`repro.sem.geometry.GeometricFactors`
+(diagonal metric — axis-aligned elements).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.comm import Communicator, ReduceOp
+from repro.sem.geometry import GeometricFactors
+from repro.sem.gather_scatter import GatherScatter
+from repro.sem.mesh import BoxMesh
+from repro.sem.quadrature import derivative_matrix
+from repro.sem.tensor import (
+    apply_1d_x,
+    apply_1d_y,
+    apply_1d_z,
+    local_grad,
+    local_grad_transpose,
+)
+
+
+class SEMOperators:
+    """Operator bundle for one mesh + communicator."""
+
+    def __init__(self, mesh: BoxMesh, comm: Communicator):
+        self.mesh = mesh
+        self.comm = comm
+        self.geom = GeometricFactors(mesh)
+        self.D = derivative_matrix(mesh.order)
+        self.gs = GatherScatter(mesh.global_ids, comm)
+        self._volume: float | None = None
+        self._ndofs: float | None = None
+
+    # -- inner products ----------------------------------------------------
+    def dot(self, u: np.ndarray, v: np.ndarray) -> float:
+        """Global assembled l2 inner product (each global dof once)."""
+        local = float((u * v * self.gs.inv_multiplicity).sum())
+        return float(self.comm.allreduce(local, ReduceOp.SUM))
+
+    def norm(self, u: np.ndarray) -> float:
+        return float(np.sqrt(max(self.dot(u, u), 0.0)))
+
+    def integrate(self, u: np.ndarray) -> float:
+        """Global integral of u over the domain (mass-weighted sum).
+
+        The mass factors are per-element quadrature weights, so summing
+        over all local nodes integrates each element exactly once; no
+        multiplicity correction applies (unlike :meth:`dot`).
+        """
+        local = float((self.geom.mass * u).sum())
+        return float(self.comm.allreduce(local, ReduceOp.SUM))
+
+    @property
+    def volume(self) -> float:
+        if self._volume is None:
+            self._volume = self.integrate(np.ones(self.mesh.field_shape()))
+        return self._volume
+
+    def mean(self, u: np.ndarray) -> float:
+        return self.integrate(u) / self.volume
+
+    def project_out_mean(self, u: np.ndarray) -> np.ndarray:
+        """Remove the volume (mass-weighted) average.
+
+        Use for *reporting* fields defined up to a constant.  Inside CG
+        on the singular all-Neumann system use
+        :meth:`project_out_nullspace` instead: the algebraic null
+        vector of the assembled operator is the constant DOF vector,
+        whose orthogonal complement is defined by the *unweighted*
+        assembled dot product, not the L2(Omega) one — projecting with
+        the wrong mean leaves an inconsistent residual component that
+        compounds and diverges the iteration.
+        """
+        return u - self.mean(u)
+
+    @property
+    def num_global_dofs(self) -> float:
+        """Number of assembled (deduplicated) DOFs across all ranks."""
+        if self._ndofs is None:
+            ones = np.ones(self.mesh.field_shape())
+            self._ndofs = self.dot(ones, ones)
+        return self._ndofs
+
+    def project_out_nullspace(self, u: np.ndarray) -> np.ndarray:
+        """Remove the algebraic constant mode (assembled-dot mean)."""
+        ones = np.ones(self.mesh.field_shape())
+        return u - self.dot(u, ones) / self.num_global_dofs
+
+    # -- local operators -----------------------------------------------------
+    def mass_apply(self, f: np.ndarray) -> np.ndarray:
+        """B f (diagonal lumped mass, unassembled)."""
+        return self.geom.mass * f
+
+    def stiffness_apply(self, f: np.ndarray) -> np.ndarray:
+        """Weak Laplacian A f (unassembled)."""
+        fr, fs, ft = local_grad(self.D, f)
+        return local_grad_transpose(
+            self.D, self.geom.grr * fr, self.geom.gss * fs, self.geom.gtt * ft
+        )
+
+    def helmholtz_apply(self, f: np.ndarray, h1: float, h0) -> np.ndarray:
+        """(h1 A + h0 B) f; h0 may be a scalar or a per-node field
+        (spatially varying reaction term, e.g. Brinkman penalty)."""
+        out = self.stiffness_apply(f)
+        if h1 != 1.0:
+            out *= h1
+        out += (h0 * self.geom.mass) * f
+        return out
+
+    def stiffness_diagonal(self, h1: float = 1.0, h0=0.0) -> np.ndarray:
+        """Diagonal of the *assembled* Helmholtz operator (for Jacobi).
+
+        diag(D_r^T G D_r) at node (k,j,i) is sum_m D[m,i]^2 G[e,k,j,m]
+        (and permutations), then gather-scattered.
+        """
+        D2 = self.D * self.D
+        diag = np.einsum("mi,ekjm->ekji", D2, self.geom.grr, optimize=True)
+        diag += np.einsum("mj,ekmi->ekji", D2, self.geom.gss, optimize=True)
+        diag += np.einsum("mk,emji->ekji", D2, self.geom.gtt, optimize=True)
+        diag *= h1
+        diag += h0 * self.geom.mass
+        return self.gs(diag)
+
+    # -- differential operators (collocation / strong form) -------------------
+    def grad(self, f: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pointwise physical gradient (unassembled; chain rule)."""
+        fr, fs, ft = local_grad(self.D, f)
+        return self.geom.rx * fr, self.geom.sy * fs, self.geom.tz * ft
+
+    def div(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Pointwise divergence du/dx + dv/dy + dw/dz."""
+        out = self.geom.rx * apply_1d_x(self.D, u)
+        out += self.geom.sy * apply_1d_y(self.D, v)
+        out += self.geom.tz * apply_1d_z(self.D, w)
+        return out
+
+    def convect(self, f: np.ndarray, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Convective derivative (u . grad) f, pointwise (collocation)."""
+        fx, fy, fz = self.grad(f)
+        return u * fx + v * fy + w * fz
+
+    def convect_dealiased(
+        self, f: np.ndarray, u: np.ndarray, v: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        """(u . grad) f with quadrature over-integration (3/2 rule).
+
+        Gradients are computed spectrally at the GLL nodes (exact),
+        then the velocity-gradient products are evaluated on the finer
+        Gauss grid and L2-projected back — removing the aliasing error
+        of the collocation product.
+        """
+        from repro.sem.dealias import dealias_points, project_back, to_fine
+
+        order = self.mesh.order
+        m = dealias_points(order)
+        fx, fy, fz = self.grad(f)
+        out_fine = to_fine(u, order, m) * to_fine(fx, order, m)
+        out_fine += to_fine(v, order, m) * to_fine(fy, order, m)
+        out_fine += to_fine(w, order, m) * to_fine(fz, order, m)
+        return project_back(out_fine, order, m)
+
+    # -- assembly helpers ----------------------------------------------------
+    def assemble(self, f: np.ndarray) -> np.ndarray:
+        """QQ^T f (direct-stiffness sum)."""
+        return self.gs(f)
+
+    def continuize(self, f: np.ndarray) -> np.ndarray:
+        """Average redundant copies so the field is single-valued."""
+        return self.gs.average(f)

@@ -1,0 +1,123 @@
+"""Gauss-Lobatto-Legendre quadrature and spectral differentiation.
+
+The SEM discretizes each element with the tensor product of 1-D GLL
+nodes: polynomial order N gives ``Nq = N + 1`` nodes including both
+endpoints.  This module provides the nodes/weights, the spectral
+differentiation matrix on those nodes, and barycentric Lagrange
+interpolation to arbitrary points (used by visualization resampling).
+
+References: Deville, Fischer & Mund, *High-Order Methods for
+Incompressible Fluid Flow*, ch. 2; Berrut & Trefethen, *Barycentric
+Lagrange Interpolation*.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from numpy.polynomial import legendre as npleg
+
+
+@lru_cache(maxsize=64)
+def _gll_cached(order: int) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    if order < 1:
+        raise ValueError(f"polynomial order must be >= 1, got {order}")
+    n = order
+    if n == 1:
+        x = np.array([-1.0, 1.0])
+    else:
+        # Interior GLL nodes are the roots of P_N'(x).
+        coeffs = np.zeros(n + 1)
+        coeffs[n] = 1.0
+        dcoeffs = npleg.legder(coeffs)
+        interior = npleg.legroots(dcoeffs)
+        x = np.concatenate(([-1.0], np.sort(interior), [1.0]))
+    # Weights: w_i = 2 / (N (N+1) P_N(x_i)^2)
+    pn = npleg.legval(x, np.eye(n + 1)[n])
+    w = 2.0 / (n * (n + 1) * pn**2)
+    return tuple(x.tolist()), tuple(w.tolist())
+
+
+def gll_nodes_weights(order: int) -> tuple[np.ndarray, np.ndarray]:
+    """GLL nodes and quadrature weights on [-1, 1] for a given order.
+
+    >>> x, w = gll_nodes_weights(2)
+    >>> np.allclose(x, [-1, 0, 1]) and np.allclose(w, [1/3, 4/3, 1/3])
+    True
+    """
+    x, w = _gll_cached(order)
+    return np.array(x), np.array(w)
+
+
+def _barycentric_weights(nodes: np.ndarray) -> np.ndarray:
+    diffs = nodes[:, None] - nodes[None, :]
+    np.fill_diagonal(diffs, 1.0)
+    return 1.0 / diffs.prod(axis=1)
+
+
+def derivative_matrix(order: int) -> np.ndarray:
+    """Spectral differentiation matrix D on the GLL nodes.
+
+    ``(D @ f)`` gives df/dx at the nodes for f sampled at the nodes,
+    exact for polynomials of degree <= order.
+    """
+    x, _ = gll_nodes_weights(order)
+    n = len(x)
+    bw = _barycentric_weights(x)
+    D = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                D[i, j] = (bw[j] / bw[i]) / (x[i] - x[j])
+    # Diagonal by negative row-sum (derivative of constants is zero).
+    np.fill_diagonal(D, -D.sum(axis=1))
+    return D
+
+
+def lagrange_interpolation_matrix(nodes: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Matrix J with ``J @ f`` evaluating the interpolant of f (sampled
+    at `nodes`) at `targets`.  Barycentric form, stable for GLL nodes.
+    """
+    nodes = np.asarray(nodes, dtype=float)
+    targets = np.atleast_1d(np.asarray(targets, dtype=float))
+    bw = _barycentric_weights(nodes)
+    J = np.zeros((len(targets), len(nodes)))
+    for t, xt in enumerate(targets):
+        diff = xt - nodes
+        exact = np.isclose(diff, 0.0, atol=1e-14)
+        if exact.any():
+            J[t, np.argmax(exact)] = 1.0
+            continue
+        terms = bw / diff
+        J[t] = terms / terms.sum()
+    return J
+
+
+def gauss_nodes_weights(count: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss-Legendre nodes/weights on [-1, 1] (no endpoints).
+
+    Exact for polynomials of degree 2*count - 1 — the quadrature
+    over-integration (dealiasing) evaluates nonlinear products on.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    x, w = np.polynomial.legendre.leggauss(count)
+    return x, w
+
+
+def uniform_nodes(count: int, include_ends: bool = True) -> np.ndarray:
+    """`count` uniformly spaced points on [-1, 1].
+
+    With ``include_ends=False`` points sit at cell centers, which is
+    what image resampling wants (no duplicated element-interface
+    samples).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if include_ends:
+        if count == 1:
+            return np.array([0.0])
+        return np.linspace(-1.0, 1.0, count)
+    step = 2.0 / count
+    return -1.0 + step * (np.arange(count) + 0.5)

@@ -1,0 +1,67 @@
+"""Tensor-product operator application.
+
+The defining optimization of SEM (and of libParanumal's GPU kernels) is
+that a 3-D operator with a tensor-product structure is applied as three
+small dense matrix products per element instead of one large one:
+O(E N^4) work instead of O(E N^6).  Fields are shaped
+``(E, Nq, Nq, Nq)`` indexed ``[e, k, j, i]`` (i varies along x).
+
+All functions are allocation-aware: they use einsum with controlled
+output and avoid temporaries where NumPy allows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def apply_1d_x(A: np.ndarray, f: np.ndarray) -> np.ndarray:
+    """Apply A along the x (last) axis: out[e,k,j,a] = A[a,i] f[e,k,j,i]."""
+    return np.einsum("ai,ekji->ekja", A, f, optimize=True)
+
+
+def apply_1d_y(A: np.ndarray, f: np.ndarray) -> np.ndarray:
+    """Apply A along the y axis: out[e,k,b,i] = A[b,j] f[e,k,j,i]."""
+    return np.einsum("bj,ekji->ekbi", A, f, optimize=True)
+
+
+def apply_1d_z(A: np.ndarray, f: np.ndarray) -> np.ndarray:
+    """Apply A along the z axis: out[e,c,j,i] = A[c,k] f[e,k,j,i]."""
+    return np.einsum("ck,ekji->ecji", A, f, optimize=True)
+
+
+def apply_3d(Ax: np.ndarray, Ay: np.ndarray, Az: np.ndarray, f: np.ndarray) -> np.ndarray:
+    """Full tensor-product apply (Az (x) Ay (x) Ax) f."""
+    return apply_1d_z(Az, apply_1d_y(Ay, apply_1d_x(Ax, f)))
+
+
+def local_grad(D: np.ndarray, f: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference-space gradient (df/dr, df/ds, df/dt) of each element.
+
+    `D` is the 1-D GLL differentiation matrix; r/s/t are the reference
+    coordinates along x/y/z respectively.
+    """
+    fr = apply_1d_x(D, f)
+    fs = apply_1d_y(D, f)
+    ft = apply_1d_z(D, f)
+    return fr, fs, ft
+
+
+def local_grad_transpose(
+    D: np.ndarray, gr: np.ndarray, gs: np.ndarray, gt: np.ndarray
+) -> np.ndarray:
+    """Adjoint of :func:`local_grad`: D_r^T gr + D_s^T gs + D_t^T gt.
+
+    This is the element-local piece of the weak (integrated-by-parts)
+    divergence/stiffness operators.
+    """
+    out = apply_1d_x(D.T, gr)
+    out += apply_1d_y(D.T, gs)
+    out += apply_1d_z(D.T, gt)
+    return out
+
+
+def flops_local_grad(num_elements: int, nq: int) -> int:
+    """FLOP count of one local_grad call (for the performance model)."""
+    # three tensor contractions, each 2 * Nq^4 flops per element
+    return num_elements * 3 * 2 * nq**4

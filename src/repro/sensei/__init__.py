@@ -1,0 +1,31 @@
+"""SENSEI-style generic in situ interface.
+
+Mirrors the architecture of the SENSEI project (Ayachit et al. 2016)
+that the paper builds on:
+
+- :class:`DataAdaptor` — the interface simulations implement to expose
+  their data in VTK-model terms (Listing 2 of the paper),
+- :class:`AnalysisAdaptor` — the interface analysis back ends
+  implement (Catalyst, histogram, I/O, ADIOS transport, ...),
+- :class:`ConfigurableAnalysis` — an AnalysisAdaptor that reads the
+  XML configuration of Listing 1 and dispatches to the configured
+  back ends at their configured frequencies *at runtime, without
+  recompiling the simulation* — the paper's headline flexibility,
+- stock analyses under ``repro.sensei.analyses``.
+
+The simulation-side glue (bridge) lives in ``repro.insitu.bridge``.
+"""
+
+from repro.sensei.data_adaptor import DataAdaptor
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.metadata import MeshMetadata, ArrayMetadata
+from repro.sensei.configurable import ConfigurableAnalysis, parse_analysis_xml
+
+__all__ = [
+    "DataAdaptor",
+    "AnalysisAdaptor",
+    "MeshMetadata",
+    "ArrayMetadata",
+    "ConfigurableAnalysis",
+    "parse_analysis_xml",
+]

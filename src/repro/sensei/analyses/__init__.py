@@ -1,0 +1,183 @@
+"""Stock AnalysisAdaptors and their XML factory registry.
+
+Each factory has signature ``factory(comm, attributes, output_dir)``
+where `attributes` are the remaining XML attributes of the
+``<analysis>`` element.  Types mirror SENSEI's stock analyses plus the
+two back ends the paper uses (catalyst, adios/SST).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.parallel.comm import Communicator
+from repro.sensei.analyses.histogram import HistogramAnalysis
+from repro.sensei.analyses.autocorrelation import AutocorrelationAnalysis
+from repro.sensei.analyses.posthoc_io import VTKPosthocIO
+from repro.sensei.analyses.slice_extract import SliceExtract
+from repro.sensei.analyses.catalyst_adaptor import CatalystAnalysisAdaptor
+from repro.sensei.analyses.adios_adaptor import ADIOSAnalysisAdaptor
+from repro.sensei.analyses.binning import DataBinning
+from repro.sensei.analyses.particles import ParticleTracer
+from repro.sensei.analyses.steering import DivergenceGuard, SteadyStateDetector
+from repro.sensei.analyses.compressed_io import CompressedIO
+from repro.sensei.analyses.probe import HistoryPoints
+
+__all__ = [
+    "CompressedIO",
+    "HistoryPoints",
+    "HistogramAnalysis",
+    "AutocorrelationAnalysis",
+    "VTKPosthocIO",
+    "SliceExtract",
+    "CatalystAnalysisAdaptor",
+    "ADIOSAnalysisAdaptor",
+    "DataBinning",
+    "ParticleTracer",
+    "DivergenceGuard",
+    "SteadyStateDetector",
+    "default_factories",
+]
+
+
+def default_factories() -> dict:
+    """Registry mapping XML type names to adaptor factories."""
+    return {
+        "histogram": _make_histogram,
+        "autocorrelation": _make_autocorrelation,
+        "PosthocIO": _make_posthoc,
+        "vtkposthocio": _make_posthoc,
+        "slice": _make_slice,
+        "catalyst": _make_catalyst,
+        "adios": _make_adios,
+        "sst": _make_adios,
+        "binning": _make_binning,
+        "particles": _make_particles,
+        "divergence_guard": _make_divergence_guard,
+        "steady_state": _make_steady_state,
+        "compressed_io": _make_compressed_io,
+        "history_points": _make_history_points,
+    }
+
+
+def _make_histogram(comm: Communicator, attrs: dict, output_dir: Path):
+    return HistogramAnalysis(
+        comm,
+        mesh_name=attrs.get("mesh", "mesh"),
+        array_name=attrs.get("array", "pressure"),
+        bins=int(attrs.get("bins", "32")),
+        output_dir=output_dir if attrs.get("file", "1") not in ("0", "no") else None,
+    )
+
+
+def _make_autocorrelation(comm: Communicator, attrs: dict, output_dir: Path):
+    return AutocorrelationAnalysis(
+        comm,
+        mesh_name=attrs.get("mesh", "mesh"),
+        array_name=attrs.get("array", "pressure"),
+        window=int(attrs.get("window", "10")),
+        k_max=int(attrs.get("kmax", "3")),
+    )
+
+
+def _make_posthoc(comm: Communicator, attrs: dict, output_dir: Path):
+    arrays = attrs.get("arrays", "pressure,velocity_x,velocity_y,velocity_z")
+    return VTKPosthocIO(
+        comm,
+        output_dir=Path(attrs.get("output", str(output_dir))),
+        mesh_name=attrs.get("mesh", "mesh"),
+        arrays=tuple(a.strip() for a in arrays.split(",") if a.strip()),
+        encoding=attrs.get("encoding", "appended"),
+    )
+
+
+def _make_slice(comm: Communicator, attrs: dict, output_dir: Path):
+    return SliceExtract(
+        comm,
+        mesh_name=attrs.get("mesh", "uniform"),
+        array_name=attrs.get("array", "pressure"),
+        axis=attrs.get("axis", "y"),
+        position=float(attrs["position"]) if "position" in attrs else None,
+        output_dir=Path(attrs.get("output", str(output_dir))),
+    )
+
+
+def _make_catalyst(comm: Communicator, attrs: dict, output_dir: Path):
+    return CatalystAnalysisAdaptor.from_xml_attributes(comm, attrs, output_dir)
+
+
+def _make_adios(comm: Communicator, attrs: dict, output_dir: Path):
+    return ADIOSAnalysisAdaptor.from_xml_attributes(comm, attrs)
+
+
+def _make_binning(comm: Communicator, attrs: dict, output_dir: Path):
+    axes = tuple(a.strip() for a in attrs.get("axes", "z").split(",") if a.strip())
+    return DataBinning(
+        comm,
+        array_name=attrs.get("array", "temperature"),
+        axes=axes,
+        bins=int(attrs.get("bins", "16")),
+        mesh_name=attrs.get("mesh", "mesh"),
+        output_dir=output_dir if attrs.get("file", "1") not in ("0", "no") else None,
+    )
+
+
+def _make_particles(comm: Communicator, attrs: dict, output_dir: Path):
+    return ParticleTracer(
+        comm,
+        num_particles=int(attrs.get("count", "64")),
+        mesh_name=attrs.get("mesh", "uniform"),
+        seed=int(attrs.get("seed", "7")),
+        output_dir=output_dir if attrs.get("file", "1") not in ("0", "no") else None,
+    )
+
+
+def _make_divergence_guard(comm: Communicator, attrs: dict, output_dir: Path):
+    return DivergenceGuard(
+        comm,
+        array_name=attrs.get("array", "velocity_magnitude"),
+        limit=float(attrs.get("limit", "1e6")),
+        mesh_name=attrs.get("mesh", "mesh"),
+    )
+
+
+def _make_compressed_io(comm: Communicator, attrs: dict, output_dir: Path):
+    arrays = tuple(
+        a.strip() for a in attrs.get("arrays", "pressure").split(",") if a.strip()
+    )
+    return CompressedIO(
+        comm,
+        output_dir=Path(attrs.get("output", str(output_dir))),
+        arrays=arrays,
+        error_bound=float(attrs.get("error_bound", "1e-4")),
+        mesh_name=attrs.get("mesh", "mesh"),
+    )
+
+
+def _make_history_points(comm: Communicator, attrs: dict, output_dir: Path):
+    """points="x1,y1,z1; x2,y2,z2; ..." in the XML attribute."""
+    import numpy as np
+
+    raw = attrs.get("points", "0.5,0.5,0.5")
+    points = np.array(
+        [[float(c) for c in triple.split(",")] for triple in raw.split(";")]
+    )
+    arrays = tuple(
+        a.strip() for a in attrs.get("arrays", "pressure").split(",") if a.strip()
+    )
+    return HistoryPoints(
+        comm,
+        points,
+        arrays=arrays,
+        output_dir=output_dir if attrs.get("file", "1") not in ("0", "no") else None,
+    )
+
+
+def _make_steady_state(comm: Communicator, attrs: dict, output_dir: Path):
+    return SteadyStateDetector(
+        comm,
+        array_name=attrs.get("array", "velocity_magnitude"),
+        tolerance=float(attrs.get("tolerance", "1e-6")),
+        patience=int(attrs.get("patience", "3")),
+        mesh_name=attrs.get("mesh", "mesh"),
+    )

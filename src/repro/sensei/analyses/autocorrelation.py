@@ -1,0 +1,77 @@
+"""Temporal autocorrelation — another SENSEI stock analysis.
+
+Maintains a sliding window of the global spatial mean and variance of
+one array and reports lag-k autocorrelation coefficients of the mean
+signal.  Useful as a cheap "is the flow statistically stationary yet"
+probe, and in this repo as a second lightweight in situ consumer for
+overhead experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.comm import Communicator, ReduceOp
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.data_adaptor import DataAdaptor
+
+
+@dataclass
+class AutocorrelationResult:
+    step: int
+    mean: float
+    coefficients: np.ndarray   # lag 1..k_max (NaN when undefined)
+
+
+class AutocorrelationAnalysis(AnalysisAdaptor):
+    def __init__(
+        self,
+        comm: Communicator,
+        mesh_name: str = "mesh",
+        array_name: str = "pressure",
+        window: int = 10,
+        k_max: int = 3,
+    ):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if not 1 <= k_max < window:
+            raise ValueError("need 1 <= k_max < window")
+        self.comm = comm
+        self.mesh_name = mesh_name
+        self.array_name = array_name
+        self.window = window
+        self.k_max = k_max
+        self._signal: deque[float] = deque(maxlen=window)
+        self.results: list[AutocorrelationResult] = []
+
+    def execute(self, data: DataAdaptor) -> bool:
+        mesh = data.get_mesh(self.mesh_name)
+        data.add_array(mesh, self.mesh_name, "point", self.array_name)
+        local_sum = 0.0
+        local_n = 0
+        for block in mesh.local_blocks():
+            vals = block.point_data[self.array_name].values
+            local_sum += float(vals.sum())
+            local_n += vals.size
+        total = self.comm.allreduce(local_sum, ReduceOp.SUM)
+        count = self.comm.allreduce(local_n, ReduceOp.SUM)
+        mean = total / max(count, 1)
+        self._signal.append(mean)
+
+        coeffs = np.full(self.k_max, np.nan)
+        sig = np.asarray(self._signal)
+        if len(sig) >= 3:
+            centered = sig - sig.mean()
+            denom = float(centered @ centered)
+            if denom > 0:
+                for k in range(1, min(self.k_max, len(sig) - 1) + 1):
+                    coeffs[k - 1] = float(centered[k:] @ centered[:-k]) / denom
+        self.results.append(
+            AutocorrelationResult(
+                step=data.get_data_time_step(), mean=mean, coefficients=coeffs
+            )
+        )
+        return True

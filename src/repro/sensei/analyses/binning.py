@@ -1,0 +1,131 @@
+"""Data binning: reduce a field onto a coarse spatial grid of statistics.
+
+SENSEI's DataBinning analysis in miniature: bin one array by two
+coordinate axes and reduce (mean/min/max/count) per bin.  The classic
+use is horizontally-averaged profiles in convection (bin temperature
+by z) or span-averaged maps in channel flows — tiny outputs computed
+from full-resolution in-memory data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.parallel.comm import Communicator, ReduceOp
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.data_adaptor import DataAdaptor
+
+_AXES = {"x": 0, "y": 1, "z": 2}
+
+
+@dataclass
+class BinningResult:
+    step: int
+    axis_names: tuple[str, ...]
+    edges: tuple[np.ndarray, ...]
+    mean: np.ndarray
+    count: np.ndarray
+
+
+class DataBinning(AnalysisAdaptor):
+    """Bin `array` over one or two coordinate axes; reduce the mean."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        array_name: str = "temperature",
+        axes: tuple[str, ...] = ("z",),
+        bins: int = 16,
+        mesh_name: str = "mesh",
+        output_dir: Path | str | None = None,
+    ):
+        if not 1 <= len(axes) <= 2:
+            raise ValueError("bin over one or two axes")
+        for a in axes:
+            if a not in _AXES:
+                raise ValueError(f"unknown axis {a!r}")
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        self.comm = comm
+        self.array_name = array_name
+        self.axes = tuple(axes)
+        self.bins = bins
+        self.mesh_name = mesh_name
+        self.output_dir = Path(output_dir) if output_dir else None
+        self.results: list[BinningResult] = []
+
+    def execute(self, data: DataAdaptor) -> bool:
+        mesh = data.get_mesh(self.mesh_name)
+        data.add_array(mesh, self.mesh_name, "point", self.array_name)
+
+        # collect local values + coordinates
+        values = []
+        coords = {a: [] for a in self.axes}
+        for block in mesh.local_blocks():
+            values.append(block.point_data[self.array_name].values.ravel())
+            for a in self.axes:
+                coords[a].append(block.points[:, _AXES[a]])
+        vals = np.concatenate(values) if values else np.empty(0)
+        axcoords = [
+            np.concatenate(coords[a]) if coords[a] else np.empty(0)
+            for a in self.axes
+        ]
+
+        # global bin edges from coordinate extents
+        edges = []
+        for arr in axcoords:
+            lo = self.comm.allreduce(
+                float(arr.min()) if arr.size else np.inf, ReduceOp.MIN
+            )
+            hi = self.comm.allreduce(
+                float(arr.max()) if arr.size else -np.inf, ReduceOp.MAX
+            )
+            if hi <= lo:
+                hi = lo + 1.0
+            edges.append(np.linspace(lo, hi, self.bins + 1))
+
+        shape = (self.bins,) * len(self.axes)
+        local_sum = np.zeros(shape)
+        local_cnt = np.zeros(shape, dtype=np.int64)
+        if vals.size:
+            idx = [
+                np.clip(np.digitize(arr, e) - 1, 0, self.bins - 1)
+                for arr, e in zip(axcoords, edges)
+            ]
+            np.add.at(local_sum, tuple(idx), vals)
+            np.add.at(local_cnt, tuple(idx), 1)
+
+        total = self.comm.allreduce_array(local_sum, ReduceOp.SUM)
+        count = self.comm.allreduce_array(local_cnt, ReduceOp.SUM)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = np.where(count > 0, total / count, np.nan)
+
+        result = BinningResult(
+            step=data.get_data_time_step(),
+            axis_names=self.axes,
+            edges=tuple(edges),
+            mean=mean,
+            count=count,
+        )
+        self.results.append(result)
+        if self.comm.is_root and self.output_dir is not None:
+            self._write(result)
+        return True
+
+    def _write(self, r: BinningResult) -> None:
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        name = f"binning_{self.array_name}_{'_'.join(self.axes)}.txt"
+        with open(self.output_dir / name, "a") as f:
+            f.write(f"# step {r.step}\n")
+            if len(self.axes) == 1:
+                centers = 0.5 * (r.edges[0][:-1] + r.edges[0][1:])
+                for c, m, n in zip(centers, r.mean, r.count):
+                    f.write(f"{c:.6g} {m:.6g} {n}\n")
+            else:
+                for i in range(self.bins):
+                    f.write(
+                        " ".join(f"{v:.6g}" for v in np.atleast_1d(r.mean[i])) + "\n"
+                    )

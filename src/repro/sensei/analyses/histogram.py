@@ -1,0 +1,91 @@
+"""Parallel histogram — SENSEI's canonical minimal analysis.
+
+Computes a global histogram of one array: a MIN/MAX allreduce fixes
+the bin edges, local counts are summed with another allreduce, and
+rank 0 optionally appends a text report per invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.parallel.comm import Communicator, ReduceOp
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.data_adaptor import DataAdaptor
+
+
+@dataclass
+class HistogramResult:
+    step: int
+    time: float
+    array: str
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+
+class HistogramAnalysis(AnalysisAdaptor):
+    def __init__(
+        self,
+        comm: Communicator,
+        mesh_name: str = "mesh",
+        array_name: str = "pressure",
+        bins: int = 32,
+        output_dir: Path | None = None,
+    ):
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        self.comm = comm
+        self.mesh_name = mesh_name
+        self.array_name = array_name
+        self.bins = bins
+        self.output_dir = Path(output_dir) if output_dir is not None else None
+        self.results: list[HistogramResult] = []
+
+    def _collect_values(self, data: DataAdaptor) -> np.ndarray:
+        mesh = data.get_mesh(self.mesh_name)
+        data.add_array(mesh, self.mesh_name, "point", self.array_name)
+        chunks = []
+        for block in mesh.local_blocks():
+            arr = block.point_data[self.array_name].values
+            chunks.append(arr.ravel())
+        return np.concatenate(chunks) if chunks else np.empty(0)
+
+    def execute(self, data: DataAdaptor) -> bool:
+        values = self._collect_values(data)
+        local_min = float(values.min()) if values.size else np.inf
+        local_max = float(values.max()) if values.size else -np.inf
+        vmin = self.comm.allreduce(local_min, ReduceOp.MIN)
+        vmax = self.comm.allreduce(local_max, ReduceOp.MAX)
+        if not np.isfinite(vmin) or not np.isfinite(vmax):
+            vmin, vmax = 0.0, 1.0
+        if vmax <= vmin:
+            vmax = vmin + 1.0
+        edges = np.linspace(vmin, vmax, self.bins + 1)
+        counts, _ = np.histogram(values, bins=edges)
+        counts = self.comm.allreduce_array(counts.astype(np.int64), ReduceOp.SUM)
+        result = HistogramResult(
+            step=data.get_data_time_step(),
+            time=data.get_data_time(),
+            array=self.array_name,
+            edges=edges,
+            counts=counts,
+        )
+        self.results.append(result)
+        if self.comm.is_root and self.output_dir is not None:
+            self._write(result)
+        return True
+
+    def _write(self, result: HistogramResult) -> None:
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        path = self.output_dir / f"histogram_{self.array_name}.txt"
+        with open(path, "a") as f:
+            f.write(f"# step {result.step} time {result.time:.6g}\n")
+            for lo, hi, c in zip(result.edges[:-1], result.edges[1:], result.counts):
+                f.write(f"{lo:.6g} {hi:.6g} {c}\n")

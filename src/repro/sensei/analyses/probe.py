@@ -1,0 +1,93 @@
+"""History points: exact time series at fixed probe locations.
+
+Nek's classic ``hpts`` capability as a SENSEI analysis: a set of probe
+coordinates is sampled *spectrally* (exact polynomial evaluation via
+:class:`repro.sem.pointeval.PointLocator`) at every invocation and
+appended to an in-memory series plus an optional CSV.  This needs the
+solver-side adaptor (it touches SEM fields directly), which is exactly
+how history points work in production — they live with the simulation,
+not the visualization endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.parallel.comm import Communicator
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.data_adaptor import DataAdaptor
+
+
+@dataclass
+class ProbeSample:
+    step: int
+    time: float
+    values: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class HistoryPoints(AnalysisAdaptor):
+    def __init__(
+        self,
+        comm: Communicator,
+        points: np.ndarray,
+        arrays: tuple[str, ...] = ("pressure",),
+        output_dir: Path | str | None = None,
+    ):
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError("points must be (P, 3)")
+        if len(points) == 0:
+            raise ValueError("need at least one probe point")
+        self.comm = comm
+        self.points = points
+        self.arrays = tuple(arrays)
+        self.output_dir = Path(output_dir) if output_dir else None
+        self.samples: list[ProbeSample] = []
+        self._locator = None
+
+    def execute(self, data: DataAdaptor) -> bool:
+        # history points need solver-side access: the NekDataAdaptor
+        solver = getattr(data, "solver", None)
+        if solver is None:
+            raise TypeError(
+                "HistoryPoints requires the simulation-side NekDataAdaptor"
+            )
+        if self._locator is None:
+            from repro.sem.pointeval import PointLocator
+
+            self._locator = PointLocator(solver.mesh)
+
+        sample = ProbeSample(
+            step=data.get_data_time_step(), time=data.get_data_time()
+        )
+        for name in self.arrays:
+            host = data._host_field(name)
+            if host.ndim != 4:
+                raise ValueError(f"probe arrays must be scalar fields, not {name!r}")
+            sample.values[name] = self._locator.evaluate(
+                host, self.points, self.comm
+            )
+        self.samples.append(sample)
+        return True
+
+    def finalize(self) -> None:
+        if self.output_dir is None or not self.comm.is_root:
+            return
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        path = self.output_dir / "history_points.csv"
+        with open(path, "w") as f:
+            header = ["step", "time", "probe", "x", "y", "z"] + list(self.arrays)
+            f.write(",".join(header) + "\n")
+            for s in self.samples:
+                for p, (x, y, z) in enumerate(self.points):
+                    row = [str(s.step), f"{s.time:.9g}", str(p),
+                           f"{x:.9g}", f"{y:.9g}", f"{z:.9g}"]
+                    row += [f"{s.values[a][p]:.9g}" for a in self.arrays]
+                    f.write(",".join(row) + "\n")
+
+    def series(self, array: str, probe: int) -> np.ndarray:
+        """Time series of one array at one probe index."""
+        return np.array([s.values[array][probe] for s in self.samples])

@@ -1,0 +1,71 @@
+"""SliceExtract: pull an axis-aligned plane out of the uniform mesh.
+
+Gathers the rank-local uniform fragments to rank 0, assembles the
+global volume, slices it, and writes the plane as a .vti ImageData
+file — a cheap "extract" analysis in the SENSEI tradition.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.catalyst.slicefilter import axis_slice
+from repro.parallel.comm import Communicator
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.data_adaptor import DataAdaptor
+from repro.sensei.analyses.catalyst_adaptor import gather_uniform_volume
+from repro.vtkdata.arrays import DataArray
+from repro.vtkdata.dataset import ImageData
+from repro.vtkdata.writers import write_vti
+
+
+class SliceExtract(AnalysisAdaptor):
+    def __init__(
+        self,
+        comm: Communicator,
+        mesh_name: str = "uniform",
+        array_name: str = "pressure",
+        axis: str = "y",
+        position: float | None = None,
+        output_dir: Path | str = ".",
+    ):
+        if axis not in ("x", "y", "z"):
+            raise ValueError("axis must be x|y|z")
+        self.comm = comm
+        self.mesh_name = mesh_name
+        self.array_name = array_name
+        self.axis = axis
+        self.position = position
+        self.output_dir = Path(output_dir)
+        self.bytes_written = 0
+        self.slices_written = 0
+
+    def execute(self, data: DataAdaptor) -> bool:
+        image = gather_uniform_volume(
+            self.comm, data, self.mesh_name, (self.array_name,)
+        )
+        if image is None:     # non-root ranks
+            return True
+        world_axis = {"x": 0, "y": 1, "z": 2}[self.axis]
+        lo = image.origin[world_axis]
+        hi = lo + (image.dims[world_axis] - 1) * image.spacing[world_axis]
+        position = self.position if self.position is not None else 0.5 * (lo + hi)
+        plane = axis_slice(
+            image.as_volume(self.array_name),
+            self.axis,
+            position,
+            origin=image.origin,
+            spacing=image.spacing,
+        )
+        # write the plane as a flat ImageData (1-deep in the sliced axis)
+        rows, cols = plane.shape
+        out = ImageData(dims=(cols, rows, 1), spacing=(1.0, 1.0, 1.0))
+        out.add_array(DataArray(self.array_name, plane.ravel()))
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        step = data.get_data_time_step()
+        path = self.output_dir / f"slice_{self.array_name}_{self.axis}_{step:06d}.vti"
+        self.bytes_written += write_vti(path, out)
+        self.slices_written += 1
+        return True

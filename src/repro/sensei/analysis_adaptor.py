@@ -1,0 +1,22 @@
+"""The AnalysisAdaptor interface.
+
+Analysis back ends (Catalyst rendering, histogramming, posthoc I/O,
+ADIOS transport, ...) implement ``execute``; SENSEI's bridge invokes it
+with a DataAdaptor every time the simulation offers data.  Returning
+False asks the simulation to stop (SENSEI's steering hook).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sensei.data_adaptor import DataAdaptor
+
+
+class AnalysisAdaptor(abc.ABC):
+    @abc.abstractmethod
+    def execute(self, data: DataAdaptor) -> bool:
+        """Run the analysis against the current simulation state."""
+
+    def finalize(self) -> None:
+        """Flush/close resources at end of run (optional override)."""

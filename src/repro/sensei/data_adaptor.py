@@ -1,0 +1,64 @@
+"""The DataAdaptor interface (paper Listing 2).
+
+Simulation codes extend this class to relay their data, aligned with
+the VTK data model, to whatever AnalysisAdaptor is configured.  The
+concrete NekRS adaptor lives in ``repro.insitu.adaptor``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.parallel.comm import Communicator
+from repro.sensei.metadata import MeshMetadata
+from repro.vtkdata.dataset import MultiBlockDataSet
+
+
+class DataAdaptor(abc.ABC):
+    """Presents simulation state as meshes + arrays on demand."""
+
+    def __init__(self, comm: Communicator):
+        self.comm = comm
+        self._time = 0.0
+        self._step = 0
+
+    # -- time ------------------------------------------------------------
+    def set_data_time(self, time: float) -> None:
+        self._time = time
+
+    def get_data_time(self) -> float:
+        return self._time
+
+    def set_data_time_step(self, step: int) -> None:
+        self._step = step
+
+    def get_data_time_step(self) -> int:
+        return self._step
+
+    # -- structure ---------------------------------------------------------
+    @abc.abstractmethod
+    def get_number_of_meshes(self) -> int:
+        """How many distinct meshes the simulation can provide."""
+
+    @abc.abstractmethod
+    def get_mesh_metadata(self, index: int) -> MeshMetadata:
+        """Metadata for mesh `index` (cheap; no bulk data movement)."""
+
+    @abc.abstractmethod
+    def get_mesh(self, name: str, structure_only: bool = False) -> MultiBlockDataSet:
+        """Geometry/topology of a mesh as one block per rank.
+
+        With ``structure_only`` the blocks carry no coordinates either
+        — just shape information.  Array data is attached separately
+        via :meth:`add_array`, so analyses pay only for what they use.
+        """
+
+    @abc.abstractmethod
+    def add_array(self, mesh: MultiBlockDataSet, mesh_name: str, association: str, array_name: str) -> None:
+        """Attach a named simulation array to a mesh previously
+        obtained from :meth:`get_mesh`.  This is the step that crosses
+        the GPU->CPU boundary in an OCCA-backed simulation."""
+
+    @abc.abstractmethod
+    def release_data(self) -> None:
+        """Drop any host-side staging the adaptor created this step."""

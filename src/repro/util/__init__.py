@@ -1,0 +1,27 @@
+"""Shared utilities used across the repro stack."""
+
+from repro.util.sizes import (
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    format_bytes,
+    parse_bytes,
+)
+from repro.util.timing import StopWatch, TimingStats, Timer
+from repro.util.tables import Table
+from repro.util.rng import make_rng
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "parse_bytes",
+    "StopWatch",
+    "TimingStats",
+    "Timer",
+    "Table",
+    "make_rng",
+]

@@ -1,0 +1,126 @@
+"""Animated PNG (APNG) assembly.
+
+In situ rendering produces frame sequences; APNG packs them into a
+single self-playing file every browser renders — no video codec, no
+dependency, just three extra chunk types on top of PNG:
+
+- ``acTL``: animation control (frame count, loop count),
+- ``fcTL``: one frame-control chunk per frame (dimensions, delay),
+- ``fdAT``: frame data (an IDAT with a sequence number prefix) for
+  every frame after the first.
+
+All frames must share dimensions; the first frame doubles as the
+still image shown by non-animated decoders.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.util.png import _chunk, encode_png
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _split_chunks(png: bytes):
+    """Yield (tag, payload) for each chunk of a PNG byte string."""
+    pos = 8
+    while pos < len(png):
+        (length,) = struct.unpack(">I", png[pos : pos + 4])
+        tag = png[pos + 4 : pos + 8]
+        payload = png[pos + 8 : pos + 8 + length]
+        yield tag, payload
+        pos += 12 + length
+
+
+def assemble_apng(
+    frames: list[np.ndarray],
+    delay_ms: int = 100,
+    loops: int = 0,
+    compress_level: int = 6,
+) -> bytes:
+    """Assemble uint8 RGB(A)/gray frames into one APNG byte string.
+
+    `loops` = 0 means repeat forever.  Frames must share shape/dtype.
+    """
+    if not frames:
+        raise ValueError("need at least one frame")
+    shapes = {f.shape for f in frames}
+    if len(shapes) != 1:
+        raise ValueError(f"frames must share a shape, got {shapes}")
+    if delay_ms < 1:
+        raise ValueError("delay_ms must be >= 1")
+
+    encoded = [encode_png(f, compress_level) for f in frames]
+    first_chunks = dict(_split_chunks(encoded[0]))
+    ihdr = first_chunks[b"IHDR"]
+    width, height = struct.unpack(">II", ihdr[:8])
+
+    out = [_SIGNATURE, _chunk(b"IHDR", ihdr)]
+    out.append(_chunk(b"acTL", struct.pack(">II", len(frames), loops)))
+
+    seq = 0
+
+    def fctl() -> bytes:
+        nonlocal seq
+        payload = struct.pack(
+            ">IIIIIHHBB",
+            seq, width, height, 0, 0,      # full-frame replace at (0, 0)
+            delay_ms, 1000,                # delay as a fraction of a second
+            0,                             # dispose: none
+            0,                             # blend: source
+        )
+        seq += 1
+        return _chunk(b"fcTL", payload)
+
+    # first frame: fcTL + the default-image IDAT
+    out.append(fctl())
+    for tag, payload in _split_chunks(encoded[0]):
+        if tag == b"IDAT":
+            out.append(_chunk(b"IDAT", payload))
+
+    # remaining frames: fcTL + fdAT (sequence-numbered IDAT payloads)
+    for png in encoded[1:]:
+        out.append(fctl())
+        for tag, payload in _split_chunks(png):
+            if tag == b"IDAT":
+                out.append(
+                    _chunk(b"fdAT", struct.pack(">I", seq) + payload)
+                )
+                seq += 1
+
+    out.append(_chunk(b"IEND", b""))
+    return b"".join(out)
+
+
+def write_apng(path, frames: list[np.ndarray], **kwargs) -> int:
+    """Write an APNG file; returns bytes written."""
+    data = assemble_apng(frames, **kwargs)
+    with open(path, "wb") as f:
+        f.write(data)
+    return len(data)
+
+
+def apng_info(data: bytes) -> dict:
+    """Parse an APNG's animation structure (for tests/tools).
+
+    Returns {frames, loops, width, height, fctl_count, fdat_count}.
+    """
+    if data[:8] != _SIGNATURE:
+        raise ValueError("not a PNG/APNG")
+    info = {"fctl_count": 0, "fdat_count": 0}
+    for tag, payload in _split_chunks(data):
+        if tag == b"IHDR":
+            info["width"], info["height"] = struct.unpack(">II", payload[:8])
+        elif tag == b"acTL":
+            info["frames"], info["loops"] = struct.unpack(">II", payload)
+        elif tag == b"fcTL":
+            info["fctl_count"] += 1
+        elif tag == b"fdAT":
+            info["fdat_count"] += 1
+    if "frames" not in info:
+        raise ValueError("no acTL chunk: not an animated PNG")
+    return info

@@ -1,0 +1,83 @@
+"""Error-bounded lossy field compression ("SZ-lite").
+
+The paper frames the I/O crisis as a fidelity-versus-volume choice:
+full checkpoints (19 GB) or images (6.5 MB).  Error-bounded lossy
+compression is the standard middle point on that curve (SZ/ZFP in
+production), so this module provides a small, honest implementation to
+benchmark against:
+
+- uniform quantization to a caller-specified **absolute error bound**
+  (each value is representable within ±bound by construction),
+- delta encoding along the fastest axis (smooth fields quantize to
+  near-constant deltas),
+- zlib entropy coding of the integer stream.
+
+Values that don't fit the 32-bit quantizer range fall back to a
+lossless float path for the whole block (a rare, degenerate case).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+_MAGIC = b"SZL1"
+_MODE_QUANT = 0
+_MODE_LOSSLESS = 1
+
+
+def compress_field(array: np.ndarray, error_bound: float, level: int = 6) -> bytes:
+    """Compress a float array to within ±`error_bound` of every value."""
+    if error_bound <= 0:
+        raise ValueError("error_bound must be positive")
+    arr = np.ascontiguousarray(array, dtype=np.float64)
+    if not np.isfinite(arr).all():
+        raise ValueError("cannot compress non-finite values")
+    # quantize: q = round(v / (2*bound)); |v - q*2*bound| <= bound
+    step = 2.0 * error_bound
+    scaled = arr.ravel() / step
+    deltas = None
+    if scaled.size and np.abs(scaled).max() <= 2**31 - 2:
+        q = np.rint(scaled).astype(np.int64)
+        deltas = np.empty_like(q)
+        deltas[0] = q[0]
+        np.subtract(q[1:], q[:-1], out=deltas[1:])
+        # deltas span up to twice the value range: re-check before i4
+        if deltas.size and np.abs(deltas).max() > 2**31 - 2:
+            deltas = None
+    if deltas is None:
+        mode = _MODE_LOSSLESS
+        payload = zlib.compress(arr.tobytes(), level)
+    else:
+        mode = _MODE_QUANT
+        payload = zlib.compress(deltas.astype("<i4").tobytes(), level)
+    header = _MAGIC + struct.pack(
+        "<Bd B", mode, error_bound, len(arr.shape)
+    ) + struct.pack(f"<{arr.ndim}q", *arr.shape)
+    return header + payload
+
+
+def decompress_field(data: bytes) -> tuple[np.ndarray, float]:
+    """Inverse of :func:`compress_field`; returns (array, error_bound)."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not an SZ-lite payload")
+    off = 4
+    mode, error_bound, ndim = struct.unpack_from("<BdB", data, off)
+    off += struct.calcsize("<BdB")
+    shape = struct.unpack_from(f"<{ndim}q", data, off)
+    off += 8 * ndim
+    raw = zlib.decompress(data[off:])
+    if mode == _MODE_LOSSLESS:
+        return np.frombuffer(raw, dtype=np.float64).reshape(shape).copy(), error_bound
+    deltas = np.frombuffer(raw, dtype="<i4").astype(np.int64)
+    q = np.cumsum(deltas)
+    step = 2.0 * error_bound
+    return (q * step).reshape(shape), error_bound
+
+
+def compression_ratio(array: np.ndarray, error_bound: float) -> float:
+    """raw bytes / compressed bytes for one field."""
+    compressed = len(compress_field(array, error_bound))
+    return array.nbytes / compressed if compressed else float("inf")

@@ -1,0 +1,61 @@
+"""Rank-aware logging.
+
+Leadership-scale runs cannot have every rank printing: the convention
+(followed by Nek, SENSEI, and ADIOS alike) is rank-0-only logging by
+default, with an environment switch (``REPRO_LOG_ALL_RANKS=1``) to
+unmute everyone when debugging a rank-dependent problem.  Messages are
+prefixed ``[name rank/size]`` so interleaved multi-rank output stays
+attributable.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+from repro.parallel.comm import Communicator
+
+_FORMAT = "%(asctime)s %(prefix)s %(levelname)s %(message)s"
+
+
+class _RankFilter(logging.Filter):
+    def __init__(self, prefix: str, emit: bool):
+        super().__init__()
+        self.prefix = prefix
+        self.emit = emit
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.prefix = self.prefix
+        return self.emit
+
+
+def get_logger(
+    name: str,
+    comm: Communicator | None = None,
+    level: int | str | None = None,
+    stream=None,
+) -> logging.Logger:
+    """Create/fetch a rank-aware logger.
+
+    Only rank 0 emits unless ``REPRO_LOG_ALL_RANKS`` is set (or the
+    communicator is None/size 1).  Level defaults to ``REPRO_LOG_LEVEL``
+    or INFO.
+    """
+    rank = comm.rank if comm is not None else 0
+    size = comm.size if comm is not None else 1
+    logger = logging.getLogger(f"repro.{name}.r{rank}")
+    logger.handlers.clear()
+    logger.propagate = False
+
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "INFO")
+    logger.setLevel(level)
+
+    all_ranks = os.environ.get("REPRO_LOG_ALL_RANKS", "") not in ("", "0", "no")
+    emit = rank == 0 or all_ranks or size == 1
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+    handler.addFilter(_RankFilter(f"[{name} {rank}/{size}]", emit))
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,80 @@
+"""Byte-size constants, formatting and parsing.
+
+Storage accounting is central to the paper's evaluation (6.5 MB of
+Catalyst images vs 19 GB of checkpoints), so the whole stack reports
+byte counts through these helpers for consistent, lossless formatting.
+"""
+
+from __future__ import annotations
+
+import re
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+_UNITS = [
+    ("TiB", TIB),
+    ("GiB", GIB),
+    ("MiB", MIB),
+    ("KiB", KIB),
+    ("B", 1),
+]
+
+_PARSE_UNITS = {
+    "b": 1,
+    "": 1,
+    "kb": 1000,
+    "mb": 1000**2,
+    "gb": 1000**3,
+    "tb": 1000**4,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "tib": TIB,
+    "k": KIB,
+    "m": MIB,
+    "g": GIB,
+    "t": TIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def format_bytes(n: float, precision: int = 2) -> str:
+    """Format a byte count using binary units.
+
+    >>> format_bytes(6.5 * MIB)
+    '6.50 MiB'
+    >>> format_bytes(0)
+    '0 B'
+    """
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    if n == 0:
+        return "0 B"
+    for unit, factor in _UNITS:
+        if n >= factor:
+            value = n / factor
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.{precision}f} {unit}"
+    return f"{n:.{precision}f} B"
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human byte-size string (``"19 GB"``, ``"6.5MiB"``, ``"512"``).
+
+    Decimal units (kB/MB/GB) are powers of 1000; binary units
+    (KiB/MiB/GiB) are powers of 1024, matching common storage-system
+    conventions.
+    """
+    m = _SIZE_RE.match(text)
+    if m is None:
+        raise ValueError(f"cannot parse byte size: {text!r}")
+    value = float(m.group(1))
+    unit = m.group(2).lower()
+    if unit not in _PARSE_UNITS:
+        raise ValueError(f"unknown byte-size unit {m.group(2)!r} in {text!r}")
+    return int(round(value * _PARSE_UNITS[unit]))

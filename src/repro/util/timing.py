@@ -1,0 +1,149 @@
+"""Wall-clock timing helpers.
+
+The evaluation reports total elapsed time (Fig. 2) and mean time per
+timestep (Fig. 5).  ``StopWatch`` accumulates named phases so a run can
+report solver / in situ / checkpoint breakdowns, and ``TimingStats``
+summarizes repeated samples (mean/min/max/std) the way the in transit
+experiment reports per-timestep means.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimingStats:
+    """Streaming summary statistics over time samples (Welford)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    _mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        self.min = min(self.min, sample)
+        self.max = max(self.max, sample)
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "TimingStats") -> "TimingStats":
+        """Combine two summaries (parallel Welford merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.min = other.min
+            self.max = other.max
+            self._mean = other._mean
+            self._m2 = other._m2
+            return self
+        n = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / n
+        self._mean = (self.count * self._mean + other.count * other._mean) / n
+        self.count = n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "std": self.std,
+        }
+
+
+class Timer:
+    """A single start/stop wall timer."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed = 0.0
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+
+@dataclass
+class StopWatch:
+    """Accumulates wall time into named phases.
+
+    >>> sw = StopWatch()
+    >>> with sw.phase("solve"):
+    ...     pass
+    >>> sw.stats("solve").count
+    1
+    """
+
+    phases: dict[str, TimingStats] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_sample(name, time.perf_counter() - t0)
+
+    def add_sample(self, name: str, seconds: float) -> None:
+        self.phases.setdefault(name, TimingStats()).add(seconds)
+
+    def stats(self, name: str) -> TimingStats:
+        return self.phases.setdefault(name, TimingStats())
+
+    def total(self, name: str) -> float:
+        stats = self.phases.get(name)
+        return stats.total if stats else 0.0
+
+    def as_dict(self) -> dict:
+        return {name: stats.as_dict() for name, stats in self.phases.items()}
+
+    def merge(self, other: "StopWatch") -> "StopWatch":
+        for name, stats in other.phases.items():
+            self.stats(name).merge(stats)
+        return self

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialCommunicator
+
+
+@pytest.fixture
+def comm():
+    """A single-rank communicator."""
+    return SerialCommunicator()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def tiny_cavity_case():
+    """The smallest meaningful solver case (fast enough for unit tests)."""
+    from repro.nekrs.cases import lid_cavity_case
+
+    return lid_cavity_case(reynolds=100, elements=2, order=3, dt=5e-3, num_steps=3)
+
+
+@pytest.fixture
+def tiny_solver(tiny_cavity_case, comm):
+    from repro.nekrs import NekRSSolver
+
+    return NekRSSolver(tiny_cavity_case, comm)

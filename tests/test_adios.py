@@ -1,0 +1,254 @@
+"""Tests for BP marshaling, SST streaming, and BPFile engines."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.adios import (
+    ADIOS,
+    BPFileReaderEngine,
+    BPFileWriterEngine,
+    EndOfStream,
+    SSTBroker,
+    SSTReaderEngine,
+    SSTWriterEngine,
+    StepPayload,
+    StepStatus,
+    marshal_step,
+    unmarshal_step,
+)
+
+
+class TestMarshal:
+    def test_roundtrip(self, rng):
+        payload = StepPayload(
+            step=42, time=1.25, rank=3,
+            variables={
+                "u": rng.normal(size=(2, 3, 4)),
+                "ids": np.arange(5, dtype=np.int64),
+                "img": rng.integers(0, 255, size=(4, 4), dtype=np.uint8),
+            },
+            attributes={"mesh": "uniform", "extra": "{}"},
+        )
+        out = unmarshal_step(marshal_step(payload))
+        assert out.step == 42 and out.time == 1.25 and out.rank == 3
+        assert out.attributes == payload.attributes
+        assert set(out.variables) == set(payload.variables)
+        for k in payload.variables:
+            np.testing.assert_array_equal(out.variables[k], payload.variables[k])
+            assert out.variables[k].dtype == payload.variables[k].dtype
+
+    def test_empty_variables(self):
+        out = unmarshal_step(marshal_step(StepPayload(0, 0.0, 0)))
+        assert out.variables == {}
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            unmarshal_step(b"nope" + b"\x00" * 40)
+
+    def test_trailing_bytes_rejected(self):
+        data = marshal_step(StepPayload(0, 0.0, 0))
+        with pytest.raises(ValueError, match="trailing"):
+            unmarshal_step(data + b"x")
+
+    def test_unsupported_dtype(self):
+        payload = StepPayload(0, 0.0, 0, {"c": np.zeros(2, dtype=complex)})
+        with pytest.raises(TypeError):
+            marshal_step(payload)
+
+    def test_nbytes(self):
+        p = StepPayload(0, 0.0, 0, {"u": np.zeros(10)})
+        assert p.nbytes == 80
+
+
+class TestSSTBroker:
+    def test_put_get_order(self):
+        broker = SSTBroker(num_writers=1, queue_limit=4)
+        broker.put(0, b"step0")
+        broker.put(0, b"step1")
+        assert broker.get(0) == b"step0"
+        assert broker.get(0) == b"step1"
+
+    def test_end_of_stream(self):
+        broker = SSTBroker(num_writers=1)
+        broker.close_writer(0)
+        with pytest.raises(EndOfStream):
+            broker.get(0)
+
+    def test_discard_policy_drops_oldest(self):
+        broker = SSTBroker(num_writers=1, queue_limit=2, queue_full_policy="Discard")
+        for i in range(5):
+            broker.put(0, f"s{i}".encode())
+        assert broker.stats.steps_discarded == 3
+        assert broker.get(0) == b"s3"
+        assert broker.get(0) == b"s4"
+
+    def test_block_policy_backpressure(self):
+        broker = SSTBroker(num_writers=1, queue_limit=1, timeout=5.0)
+        broker.put(0, b"a")
+        unblocked = threading.Event()
+
+        def writer():
+            broker.put(0, b"b")   # blocks until reader drains
+            unblocked.set()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        assert not unblocked.wait(timeout=0.2)
+        assert broker.get(0) == b"a"
+        assert unblocked.wait(timeout=5.0)
+        t.join()
+
+    def test_stats_bytes(self):
+        broker = SSTBroker(num_writers=2)
+        broker.put(0, b"xxxx")
+        broker.put(1, b"yy")
+        broker.get(0)
+        assert broker.stats.bytes_put == 6
+        assert broker.stats.bytes_got == 4
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SSTBroker(0)
+        with pytest.raises(ValueError):
+            SSTBroker(1, queue_limit=0)
+        with pytest.raises(ValueError):
+            SSTBroker(1, queue_full_policy="Panic")
+
+
+class TestSSTEngines:
+    def test_writer_reader_roundtrip(self, rng):
+        broker = SSTBroker(num_writers=2)
+        writers = [SSTWriterEngine("s", broker, w) for w in range(2)]
+        reader = SSTReaderEngine("s", broker, writer_ranks=[0, 1])
+
+        data = {w: rng.normal(size=4) for w in range(2)}
+        for w, eng in enumerate(writers):
+            eng.set_step_info(1, 0.5)
+            eng.begin_step()
+            eng.put("field", data[w])
+            eng.put_attribute("who", f"writer{w}")
+            eng.end_step()
+
+        assert reader.begin_step() is StepStatus.OK
+        payloads = reader.payloads()
+        assert set(payloads) == {0, 1}
+        for w in range(2):
+            np.testing.assert_array_equal(payloads[w].variables["field"], data[w])
+            assert payloads[w].attributes["who"] == f"writer{w}"
+            assert payloads[w].step == 1
+        reader.end_step()
+
+    def test_reader_sees_end_of_stream(self):
+        broker = SSTBroker(num_writers=1)
+        writer = SSTWriterEngine("s", broker, 0)
+        reader = SSTReaderEngine("s", broker, [0])
+        writer.begin_step()
+        writer.put("x", np.zeros(1))
+        writer.end_step()
+        writer.close()
+        assert reader.begin_step() is StepStatus.OK
+        reader.end_step()
+        assert reader.begin_step() is StepStatus.END_OF_STREAM
+
+    def test_put_outside_step_raises(self):
+        broker = SSTBroker(num_writers=1)
+        writer = SSTWriterEngine("s", broker, 0)
+        with pytest.raises(RuntimeError):
+            writer.put("x", np.zeros(1))
+
+    def test_double_begin_step_raises(self):
+        broker = SSTBroker(num_writers=1)
+        writer = SSTWriterEngine("s", broker, 0)
+        writer.begin_step()
+        with pytest.raises(RuntimeError):
+            writer.begin_step()
+
+    def test_closed_engine_rejects_steps(self):
+        broker = SSTBroker(num_writers=1)
+        writer = SSTWriterEngine("s", broker, 0)
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.begin_step()
+
+    def test_get_specific_writer(self):
+        broker = SSTBroker(num_writers=1)
+        writer = SSTWriterEngine("s", broker, 0)
+        reader = SSTReaderEngine("s", broker, [0])
+        writer.begin_step()
+        writer.put("x", np.arange(3.0))
+        writer.end_step()
+        reader.begin_step()
+        np.testing.assert_array_equal(reader.get(0).variables["x"], [0, 1, 2])
+
+
+class TestBPFileEngines:
+    def test_file_roundtrip(self, tmp_path, rng):
+        writer = BPFileWriterEngine("run", tmp_path, writer_rank=2)
+        for step in (1, 2):
+            writer.set_step_info(step, step * 0.1)
+            writer.begin_step()
+            writer.put("u", rng.normal(size=3))
+            writer.end_step()
+        assert writer.bytes_written > 0
+        assert len(list(tmp_path.glob("*.bp"))) == 2
+
+        reader = BPFileReaderEngine("run", tmp_path, writer_rank=2)
+        assert reader.begin_step() is StepStatus.OK
+        assert reader.get().step == 1
+        reader.end_step()
+        assert reader.begin_step() is StepStatus.OK
+        assert reader.get().step == 2
+        reader.end_step()
+        assert reader.begin_step() is StepStatus.END_OF_STREAM
+
+    def test_rank_separation(self, tmp_path):
+        for rank in (0, 1):
+            w = BPFileWriterEngine("run", tmp_path, writer_rank=rank)
+            w.begin_step()
+            w.put("r", np.array([float(rank)]))
+            w.end_step()
+        r1 = BPFileReaderEngine("run", tmp_path, writer_rank=1)
+        r1.begin_step()
+        np.testing.assert_array_equal(r1.get().variables["r"], [1.0])
+
+
+class TestADIOSApi:
+    def test_declare_and_open(self, tmp_path):
+        adios = ADIOS()
+        io = adios.declare_io("sim")
+        io.set_engine("BPFile")
+        io.set_parameters({"directory": str(tmp_path)})
+        engine = io.open("out", "w")
+        assert isinstance(engine, BPFileWriterEngine)
+        assert adios.at_io("sim") is io
+
+    def test_duplicate_io_raises(self):
+        adios = ADIOS()
+        adios.declare_io("x")
+        with pytest.raises(ValueError):
+            adios.declare_io("x")
+
+    def test_sst_requires_broker(self):
+        io = ADIOS().declare_io("s")
+        with pytest.raises(ValueError, match="broker"):
+            io.open("x", "w")
+
+    def test_sst_open(self):
+        io = ADIOS().declare_io("s")
+        broker = SSTBroker(num_writers=1)
+        w = io.open("x", "w", broker=broker, writer_rank=0)
+        r = io.open("x", "r", broker=broker, writer_ranks=[0])
+        assert isinstance(w, SSTWriterEngine)
+        assert isinstance(r, SSTReaderEngine)
+
+    def test_unknown_engine(self):
+        io = ADIOS().declare_io("s")
+        with pytest.raises(ValueError):
+            io.set_engine("HDF5")
+
+    def test_bad_mode(self):
+        io = ADIOS().declare_io("s")
+        with pytest.raises(ValueError):
+            io.open("x", "a")

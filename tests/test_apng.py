@@ -1,0 +1,95 @@
+"""Tests for APNG assembly."""
+
+import numpy as np
+import pytest
+
+from repro.util.apng import apng_info, assemble_apng, write_apng
+from repro.util.png import decode_png
+
+
+def _frames(n=3, h=8, w=8):
+    frames = []
+    for i in range(n):
+        f = np.zeros((h, w, 3), dtype=np.uint8)
+        f[:, :, 0] = i * 40
+        frames.append(f)
+    return frames
+
+
+class TestAssemble:
+    def test_structure(self):
+        data = assemble_apng(_frames(3), delay_ms=50, loops=2)
+        info = apng_info(data)
+        assert info["frames"] == 3
+        assert info["loops"] == 2
+        assert info["fctl_count"] == 3
+        assert info["fdat_count"] == 2     # all frames after the first
+        assert info["width"] == 8 and info["height"] == 8
+
+    def test_single_frame(self):
+        data = assemble_apng(_frames(1))
+        info = apng_info(data)
+        assert info["frames"] == 1
+        assert info["fdat_count"] == 0
+
+    def test_default_image_decodes_as_first_frame(self):
+        frames = _frames(3)
+        data = assemble_apng(frames)
+        np.testing.assert_array_equal(decode_png(data), frames[0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_apng([])
+
+    def test_shape_mismatch_rejected(self):
+        frames = _frames(2) + [np.zeros((4, 4, 3), dtype=np.uint8)]
+        with pytest.raises(ValueError):
+            assemble_apng(frames)
+
+    def test_bad_delay(self):
+        with pytest.raises(ValueError):
+            assemble_apng(_frames(2), delay_ms=0)
+
+    def test_grayscale_frames(self):
+        frames = [np.full((6, 6), i * 60, dtype=np.uint8) for i in range(3)]
+        info = apng_info(assemble_apng(frames))
+        assert info["frames"] == 3
+
+    def test_not_animated_detected(self):
+        from repro.util.png import encode_png
+
+        with pytest.raises(ValueError, match="acTL"):
+            apng_info(encode_png(_frames(1)[0]))
+
+
+class TestWrite:
+    def test_write_returns_size(self, tmp_path):
+        path = tmp_path / "movie.apng"
+        n = write_apng(path, _frames(2))
+        assert path.stat().st_size == n
+
+    def test_movie_pipeline_emits_apng(self, tmp_path):
+        """render_series with multiple dumps produces an .apng."""
+        from repro.nekrs import NekRSSolver
+        from repro.nekrs.cases import lid_cavity_case
+        from repro.nekrs.checkpoint import write_checkpoint
+        from repro.parallel import SerialCommunicator
+        from repro.posthoc import FldSeries, render_series
+
+        case = lid_cavity_case(reynolds=100, elements=2, order=3, dt=1e-2)
+        solver = NekRSSolver(case, SerialCommunicator())
+        for _ in range(2):
+            r = solver.step()
+            write_checkpoint(
+                tmp_path, case.name, r.step, r.time, 0, 1,
+                {"velocity_x": solver.u, "pressure": solver.p},
+            )
+        series = FldSeries.discover(tmp_path)
+        outputs = render_series(
+            series, case, tmp_path / "frames",
+            arrays=("velocity_x",), width=64, height=64,
+        )
+        apngs = [p for p in outputs if p.suffix == ".apng"]
+        assert len(apngs) == 1
+        info = apng_info(apngs[0].read_bytes())
+        assert info["frames"] == 2

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.case == "cavity"
+        assert args.ranks == 2
+        assert args.device == "cuda-sim"
+
+    def test_bench_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig9"])
+
+    def test_render_requires_case(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "some.fld"])
+
+
+class TestInfo:
+    def test_prints_machines(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Polaris" in out
+        assert "JUWELS Booster" in out
+        assert "A100" in out
+
+
+class TestRun:
+    def test_cavity_run_with_config(self, tmp_path, capsys):
+        config = tmp_path / "sensei.xml"
+        config.write_text(
+            '<sensei><analysis type="histogram" array="pressure" '
+            'bins="4" frequency="2"/></sensei>'
+        )
+        rc = main([
+            "run", "--case", "cavity", "--ranks", "1", "--steps", "2",
+            "--order", "3", "--config", str(config),
+            "--output", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cavity" in out
+        assert (tmp_path / "out" / "histogram_pressure.txt").exists()
+
+    def test_run_with_par_override(self, tmp_path, capsys):
+        par = tmp_path / "case.par"
+        par.write_text("[GENERAL]\nnumSteps = 1\npolynomialOrder = 2\n")
+        rc = main([
+            "run", "--case", "cavity", "--ranks", "1",
+            "--par", str(par), "--output", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        assert "1 steps" in capsys.readouterr().out
+
+
+class TestRenderCommand:
+    def test_render_checkpoint(self, tmp_path, capsys):
+        from repro.cli import _build_case
+        from repro.nekrs import NekRSSolver
+        from repro.nekrs.checkpoint import write_checkpoint
+        from repro.parallel import SerialCommunicator
+
+        # default cavity case so `render --case cavity` rebuilds the
+        # exact same mesh
+        case = _build_case("cavity", None, None, None)
+        solver = NekRSSolver(case, SerialCommunicator())
+        solver.run(1)
+        path, _ = write_checkpoint(
+            tmp_path, case.name, 1, solver.time, 0, 1,
+            {"velocity_x": solver.u, "velocity_y": solver.v,
+             "velocity_z": solver.w, "pressure": solver.p},
+        )
+        rc = main([
+            "render", str(path), "--case", "cavity",
+            "--array", "pressure", "--size", "96",
+            "--output", str(tmp_path / "imgs"),
+        ])
+        assert rc == 0
+        pngs = list((tmp_path / "imgs").glob("*.png"))
+        assert len(pngs) == 1
+        assert "wrote" in capsys.readouterr().out
+
+    def test_render_shape_mismatch_exits(self, tmp_path):
+        from repro.cli import _build_case
+        from repro.nekrs import NekRSSolver
+        from repro.nekrs.checkpoint import write_checkpoint
+        from repro.parallel import SerialCommunicator
+
+        case = _build_case("cavity", 1, 2, None)  # order 2
+        solver = NekRSSolver(case, SerialCommunicator())
+        solver.run(1)
+        path, _ = write_checkpoint(
+            tmp_path, case.name, 1, solver.time, 0, 1,
+            {"velocity_x": solver.u, "velocity_y": solver.v,
+             "velocity_z": solver.w, "pressure": solver.p},
+        )
+        with pytest.raises(SystemExit, match="does not match"):
+            main([
+                "render", str(path), "--case", "cavity",
+                "--array", "pressure", "--output", str(tmp_path / "i"),
+            ])

@@ -1,0 +1,119 @@
+"""Tests for SZ-lite compression and the CompressedIO analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.insitu import NekDataAdaptor
+from repro.sensei.analyses import CompressedIO
+from repro.util.compress import (
+    compress_field,
+    compression_ratio,
+    decompress_field,
+)
+
+
+class TestCompressField:
+    def test_error_bound_respected(self, rng):
+        arr = rng.normal(size=(8, 6, 6, 6))
+        bound = 1e-3
+        out, b = decompress_field(compress_field(arr, bound))
+        assert b == bound
+        assert out.shape == arr.shape
+        assert np.abs(out - arr).max() <= bound + 1e-12
+
+    def test_smooth_field_compresses_hard(self):
+        x = np.linspace(0, 1, 64)
+        smooth = np.sin(2 * np.pi * x)[None, :] * np.ones((64, 1))
+        assert compression_ratio(smooth, 1e-4) > 10.0
+
+    def test_noise_compresses_worse_than_smooth(self, rng):
+        noise = rng.normal(size=(64, 64))
+        x = np.linspace(0, 1, 64)
+        smooth = np.sin(2 * np.pi * x)[None, :] * np.ones((64, 1))
+        assert compression_ratio(smooth, 1e-4) > compression_ratio(noise, 1e-4)
+
+    def test_looser_bound_smaller_output(self, rng):
+        arr = rng.normal(size=(32, 32))
+        tight = len(compress_field(arr, 1e-8))
+        loose = len(compress_field(arr, 1e-2))
+        assert loose < tight
+
+    def test_zeros(self):
+        out, _ = decompress_field(compress_field(np.zeros(100), 1e-6))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_empty(self):
+        out, _ = decompress_field(compress_field(np.zeros(0), 1e-6))
+        assert out.size == 0
+
+    def test_huge_values_lossless_fallback(self):
+        arr = np.array([1e30, -1e30, 5e29])
+        out, _ = decompress_field(compress_field(arr, 1e-6))
+        np.testing.assert_array_equal(out, arr)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            compress_field(np.zeros(4), 0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            compress_field(np.array([np.nan]), 1e-6)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            decompress_field(b"nope")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200
+        ),
+        bound=st.floats(1e-9, 1.0),
+    )
+    def test_property_error_bound(self, values, bound):
+        arr = np.asarray(values)
+        out, _ = decompress_field(compress_field(arr, bound))
+        assert np.abs(out - arr).max() <= bound * (1 + 1e-9) + 1e-15
+
+
+class TestCompressedIO:
+    def test_writes_and_beats_raw(self, comm, tiny_solver, tmp_path):
+        tiny_solver.run(2)
+        adaptor = NekDataAdaptor(tiny_solver)
+        adaptor.set_data_time_step(2)
+        io = CompressedIO(
+            comm, tmp_path, arrays=("pressure", "velocity_x"),
+            error_bound=1e-5,
+        )
+        io.execute(adaptor)
+        files = list(tmp_path.glob("*.szl"))
+        assert len(files) == 2
+        assert io.bytes_written == sum(p.stat().st_size for p in files)
+        assert io.achieved_ratio > 1.5   # smooth SEM fields compress
+
+    def test_reconstruction_within_bound(self, comm, tiny_solver, tmp_path):
+        tiny_solver.run(2)
+        adaptor = NekDataAdaptor(tiny_solver)
+        adaptor.set_data_time_step(2)
+        bound = 1e-6
+        io = CompressedIO(comm, tmp_path, arrays=("pressure",), error_bound=bound)
+        io.execute(adaptor)
+        payload = next(tmp_path.glob("pressure_*.szl")).read_bytes()
+        out, _ = decompress_field(payload)
+        assert np.abs(out - tiny_solver.p.ravel()).max() <= bound + 1e-12
+
+    def test_xml_construction(self, comm, tiny_solver, tmp_path):
+        from repro.insitu import Bridge
+
+        xml = (
+            f'<sensei><analysis type="compressed_io" arrays="pressure" '
+            f'error_bound="1e-4" output="{tmp_path}" frequency="1"/></sensei>'
+        )
+        bridge = Bridge(tiny_solver, config_xml=xml, output_dir=tmp_path)
+        tiny_solver.run(2, observer=bridge.observer)
+        assert len(list(tmp_path.glob("*.szl"))) == 2
+
+    def test_invalid_bound(self, comm, tmp_path):
+        with pytest.raises(ValueError):
+            CompressedIO(comm, tmp_path, error_bound=-1.0)

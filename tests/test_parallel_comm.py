@@ -1,0 +1,118 @@
+"""Tests for the communicator layer (serial + reduce ops + metering)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import (
+    ReduceOp,
+    SerialCommunicator,
+    TrafficMeter,
+    _combine,
+    payload_nbytes,
+)
+
+
+class TestCombine:
+    def test_sum_scalars(self):
+        assert _combine(ReduceOp.SUM, [1, 2, 3]) == 6
+
+    def test_min_max(self):
+        assert _combine(ReduceOp.MIN, [3, 1, 2]) == 1
+        assert _combine(ReduceOp.MAX, [3, 1, 2]) == 3
+
+    def test_prod(self):
+        assert _combine(ReduceOp.PROD, [2, 3, 4]) == 24
+
+    def test_logical(self):
+        assert _combine(ReduceOp.LAND, [True, True]) is True
+        assert _combine(ReduceOp.LAND, [True, False]) is False
+        assert _combine(ReduceOp.LOR, [False, True]) is True
+        assert _combine(ReduceOp.LOR, [False, False]) is False
+
+    def test_arrays_elementwise(self):
+        arrays = [np.array([1.0, 5.0]), np.array([2.0, 3.0])]
+        np.testing.assert_array_equal(_combine(ReduceOp.SUM, arrays), [3.0, 8.0])
+        np.testing.assert_array_equal(_combine(ReduceOp.MIN, arrays), [1.0, 3.0])
+        np.testing.assert_array_equal(_combine(ReduceOp.MAX, arrays), [2.0, 5.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            _combine(ReduceOp.SUM, [])
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_numpy_uses_nbytes(self):
+        arr = np.zeros(10)
+        assert payload_nbytes(arr) == 80
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_array_list(self):
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
+
+    def test_object_uses_pickle_size(self):
+        assert payload_nbytes({"a": 1}) > 0
+
+
+class TestTrafficMeter:
+    def test_record_and_totals(self):
+        m = TrafficMeter()
+        m.record("send", 100, 4, "solver")
+        m.record("send", 50, 4, "sst")
+        assert m.total_bytes() == 150
+        assert m.total_bytes("solver") == 100
+        assert m.count("send") == 2
+        assert m.count() == 2
+
+    def test_by_op(self):
+        m = TrafficMeter()
+        m.record("send", 10, 2)
+        m.record("allgather", 20, 2)
+        m.record("send", 5, 2)
+        assert m.by_op() == {"send": 15, "allgather": 20}
+
+    def test_clear(self):
+        m = TrafficMeter()
+        m.record("send", 10, 2)
+        m.clear()
+        assert m.total_bytes() == 0
+
+
+class TestSerialCommunicator:
+    def test_identity_collectives(self, comm):
+        assert comm.rank == 0
+        assert comm.size == 1
+        assert comm.is_root
+        assert comm.allgather(42) == [42]
+        assert comm.bcast("x") == "x"
+        assert comm.gather(1) == [1]
+        assert comm.allreduce(5) == 5
+        assert comm.scatter([7]) == 7
+        assert comm.alltoall([9]) == [9]
+        comm.barrier()
+
+    def test_reduce_on_root(self, comm):
+        assert comm.reduce(3) == 3
+
+    def test_allreduce_array(self, comm):
+        arr = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(comm.allreduce_array(arr), arr)
+
+    def test_send_recv_raise(self, comm):
+        with pytest.raises(RuntimeError):
+            comm.send(1, 0)
+        with pytest.raises(RuntimeError):
+            comm.recv(0)
+
+    def test_split_returns_serial(self, comm):
+        sub = comm.split(0)
+        assert isinstance(sub, SerialCommunicator)
+        assert sub.size == 1
+
+    def test_scatter_wrong_length_raises(self, comm):
+        with pytest.raises(ValueError):
+            comm.scatter([1, 2])

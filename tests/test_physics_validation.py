@@ -1,0 +1,149 @@
+"""Deeper physics validation: analytic solutions and convergence laws.
+
+- Poiseuille channel: forced laminar flow between plates converges to
+  the parabolic profile.
+- Spectral (p-) convergence: Poisson error falls exponentially with
+  polynomial order — the property SEM exists for.
+- Heat equation: the slowest diffusion mode decays at its analytic
+  rate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nekrs import CaseDefinition, NekRSSolver, ScalarBC, VelocityBC
+from repro.parallel import SerialCommunicator
+from repro.sem import BoundaryTag, BoxMesh, SEMOperators, cg_solve
+
+
+class TestPoiseuille:
+    def test_parabolic_profile(self):
+        """dp/dx = -G between no-slip plates: u(z) = G z(1-z) / (2 nu)."""
+        nu, G = 0.1, 1.0
+        case = CaseDefinition(
+            name="channel",
+            mesh_shape=(2, 2, 3),
+            extent=((0, 0, 0), (1, 1, 1)),
+            order=5,
+            periodic=(True, True, False),
+            viscosity=nu,
+            dt=0.05,
+            num_steps=240,   # ~12 viscous time units: well into steady state
+            time_order=2,
+            velocity_bcs={
+                BoundaryTag.ZMIN: VelocityBC(),
+                BoundaryTag.ZMAX: VelocityBC(),
+            },
+            forcing=lambda x, y, z, t, T: (
+                np.full_like(x, G), np.zeros_like(x), np.zeros_like(x),
+            ),
+        )
+        solver = NekRSSolver(case, SerialCommunicator())
+        solver.run(240)
+        z = solver.mesh.z
+        exact = G * z * (1.0 - z) / (2.0 * nu)
+        err = solver.ops.norm(solver.u - exact) / solver.ops.norm(exact)
+        assert err < 1e-3
+        # transverse components stay at solver-tolerance level
+        assert solver.ops.norm(solver.v) < 1e-6
+        assert solver.ops.norm(solver.w) < 1e-6
+
+    def test_flow_rate_grows_with_forcing(self):
+        rates = {}
+        for G in (0.5, 1.0):
+            case = CaseDefinition(
+                name="channel",
+                mesh_shape=(2, 2, 2),
+                extent=((0, 0, 0), (1, 1, 1)),
+                order=4,
+                periodic=(True, True, False),
+                viscosity=0.1,
+                dt=0.05,
+                num_steps=40,
+                velocity_bcs={
+                    BoundaryTag.ZMIN: VelocityBC(),
+                    BoundaryTag.ZMAX: VelocityBC(),
+                },
+                forcing=lambda x, y, z, t, T, G=G: (
+                    np.full_like(x, G), np.zeros_like(x), np.zeros_like(x),
+                ),
+            )
+            solver = NekRSSolver(case, SerialCommunicator())
+            solver.run(40)
+            rates[G] = solver.ops.integrate(solver.u)
+        assert rates[1.0] == pytest.approx(2.0 * rates[0.5], rel=1e-3)
+
+
+class TestSpectralConvergence:
+    def _poisson_error(self, order: int) -> float:
+        mesh = BoxMesh((2, 2, 2), order=order)
+        ops = SEMOperators(mesh, SerialCommunicator())
+        x, y, z = mesh.coords()
+        ue = np.sin(np.pi * x) * np.sin(np.pi * y) * np.sin(np.pi * z)
+        mask = ~mesh.boundary_union(list(BoundaryTag))
+        b = ops.assemble(ops.mass_apply(3 * np.pi**2 * ue)) * mask
+        diag = ops.stiffness_diagonal()
+        res = cg_solve(
+            lambda u: ops.assemble(ops.stiffness_apply(u)) * mask,
+            b, ops.dot,
+            precond=np.where(diag > 0, 1.0 / np.where(diag > 0, diag, 1), 0) * mask,
+            tol=1e-13, max_iterations=3000,
+        )
+        return ops.norm(res.x - ue * mask) / ops.norm(ue)
+
+    def test_exponential_error_decay(self):
+        errors = {order: self._poisson_error(order) for order in (2, 4, 6, 8)}
+        # each +2 in order gains at least a factor ~10
+        assert errors[4] < errors[2] / 10
+        assert errors[6] < errors[4] / 10
+        assert errors[8] < errors[6] / 5  # approaching CG tolerance floor
+        assert errors[8] < 1e-7
+
+
+class TestHeatEquation:
+    def test_fundamental_mode_decay(self):
+        """dT/dt = kappa lap T with T = sin(pi z): decays at kappa pi^2."""
+        kappa = 0.05
+        case = CaseDefinition(
+            name="heat",
+            mesh_shape=(2, 2, 2),
+            extent=((0, 0, 0), (1, 1, 1)),
+            order=6,
+            periodic=(True, True, False),
+            viscosity=1e-3,
+            conductivity=kappa,
+            dt=0.01,
+            num_steps=40,
+            time_order=2,
+            temperature_bcs={
+                BoundaryTag.ZMIN: ScalarBC(0.0),
+                BoundaryTag.ZMAX: ScalarBC(0.0),
+            },
+            initial_temperature=lambda x, y, z: np.sin(np.pi * z),
+        )
+        solver = NekRSSolver(case, SerialCommunicator())
+        solver.run(40)
+        z = solver.mesh.z
+        expected = np.sin(np.pi * z) * math.exp(-kappa * math.pi**2 * solver.time)
+        err = solver.ops.norm(solver.T - expected) / solver.ops.norm(expected)
+        assert err < 5e-3
+
+    def test_insulated_box_conserves_heat(self):
+        """No-flux walls: total thermal energy is invariant."""
+        case = CaseDefinition(
+            name="insulated",
+            mesh_shape=(2, 2, 2),
+            extent=((0, 0, 0), (1, 1, 1)),
+            order=4,
+            viscosity=1e-2,
+            conductivity=1e-2,
+            dt=0.01,
+            num_steps=20,
+            initial_temperature=lambda x, y, z: 1.0 + 0.5 * np.cos(np.pi * x),
+        )
+        solver = NekRSSolver(case, SerialCommunicator())
+        q0 = solver.ops.integrate(solver.T)
+        solver.run(20)
+        assert solver.ops.integrate(solver.T) == pytest.approx(q0, rel=1e-6)

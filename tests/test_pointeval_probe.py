@@ -1,0 +1,169 @@
+"""Tests for spectral point evaluation and history points."""
+
+import numpy as np
+import pytest
+
+from repro.insitu import Bridge, NekDataAdaptor
+from repro.nekrs import NekRSSolver
+from repro.nekrs.cases import lid_cavity_case
+from repro.parallel import SerialCommunicator, run_spmd
+from repro.sem import BoxMesh
+from repro.sem.pointeval import PointLocator
+from repro.sensei.analyses import HistoryPoints
+
+
+class TestLocate:
+    def test_element_assignment(self):
+        mesh = BoxMesh((2, 2, 2), ((0, 0, 0), (1, 1, 1)), order=3)
+        loc = PointLocator(mesh)
+        elem, ref = loc.locate(np.array([[0.25, 0.25, 0.25], [0.75, 0.75, 0.75]]))
+        assert elem[0] == 0
+        assert elem[1] == 7
+        np.testing.assert_allclose(ref[0], 0.0, atol=1e-12)
+
+    def test_outside_domain(self):
+        mesh = BoxMesh((2, 2, 2), order=2)
+        loc = PointLocator(mesh)
+        elem, _ = loc.locate(np.array([[2.0, 0.5, 0.5]]))
+        assert elem[0] == -1
+
+    def test_boundary_points_assigned(self):
+        mesh = BoxMesh((2, 2, 2), order=2)
+        loc = PointLocator(mesh)
+        elem, ref = loc.locate(np.array([[1.0, 1.0, 1.0], [0.0, 0.0, 0.0]]))
+        assert elem[0] == 7 and elem[1] == 0
+        np.testing.assert_allclose(ref[0], 1.0, atol=1e-9)
+        np.testing.assert_allclose(ref[1], -1.0, atol=1e-9)
+
+
+class TestEvaluate:
+    def test_exact_for_polynomials(self):
+        mesh = BoxMesh((2, 3, 2), ((0, 0, 0), (2, 3, 2)), order=4)
+        loc = PointLocator(mesh)
+        x, y, z = mesh.coords()
+        field = x**3 - 2 * y * z + y**2
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0.01, 1.99, size=(20, 3)) * [1.0, 1.5, 1.0]
+        vals = loc.evaluate(field, pts, SerialCommunicator())
+        expected = pts[:, 0] ** 3 - 2 * pts[:, 1] * pts[:, 2] + pts[:, 1] ** 2
+        np.testing.assert_allclose(vals, expected, atol=1e-10)
+
+    def test_spectral_accuracy_on_sin(self):
+        mesh = BoxMesh((2, 2, 2), order=8)
+        loc = PointLocator(mesh)
+        x, _, _ = mesh.coords()
+        field = np.sin(2 * np.pi * x)
+        pts = np.array([[0.123, 0.5, 0.5], [0.777, 0.1, 0.9]])
+        vals = loc.evaluate(field, pts, SerialCommunicator())
+        np.testing.assert_allclose(vals, np.sin(2 * np.pi * pts[:, 0]), atol=1e-7)
+
+    def test_out_of_domain_nan(self):
+        mesh = BoxMesh((2, 2, 2), order=2)
+        loc = PointLocator(mesh)
+        vals = loc.evaluate(
+            np.ones(mesh.field_shape()), np.array([[5.0, 5.0, 5.0]]),
+            SerialCommunicator(),
+        )
+        assert np.isnan(vals[0])
+
+    def test_distributed_matches_serial(self):
+        shape, order = (4, 2, 2), 3
+        full = BoxMesh(shape, order=order)
+        x, y, z = full.coords()
+        field_full = x * y + z**2
+        pts = np.array([[0.1, 0.5, 0.5], [0.6, 0.2, 0.8], [0.95, 0.95, 0.1]])
+        expected = PointLocator(full).evaluate(
+            field_full, pts, SerialCommunicator()
+        )
+
+        def body(comm):
+            mesh = BoxMesh(shape, order=order, rank=comm.rank, size=comm.size)
+            xx, yy, zz = mesh.coords()
+            local = xx * yy + zz**2
+            return PointLocator(mesh).evaluate(local, pts, comm)
+
+        for vals in run_spmd(2, body):
+            np.testing.assert_allclose(vals, expected, atol=1e-12)
+
+    def test_field_shape_mismatch(self):
+        mesh = BoxMesh((2, 2, 2), order=2)
+        loc = PointLocator(mesh)
+        with pytest.raises(ValueError):
+            loc.evaluate_local(np.zeros((1, 2, 2, 2)), np.zeros((1, 3)))
+
+
+class TestHistoryPoints:
+    def _run_with_probes(self, comm, tmp_path, steps=3):
+        case = lid_cavity_case(reynolds=100, elements=2, order=3, dt=1e-2)
+        solver = NekRSSolver(case, comm)
+        probes = HistoryPoints(
+            comm,
+            points=np.array([[0.5, 0.5, 0.9], [0.5, 0.5, 0.1]]),
+            arrays=("velocity_x", "pressure"),
+            output_dir=tmp_path,
+        )
+        bridge = Bridge(solver, analysis=probes)
+        solver.run(steps, observer=bridge.observer)
+        bridge.finalize()
+        return solver, probes
+
+    def test_series_recorded(self, comm, tmp_path):
+        _, probes = self._run_with_probes(comm, tmp_path)
+        assert len(probes.samples) == 3
+        near_lid = probes.series("velocity_x", 0)
+        near_bottom = probes.series("velocity_x", 1)
+        # the lid drives flow: the upper probe sees far more x-velocity
+        assert abs(near_lid[-1]) > 10 * abs(near_bottom[-1])
+
+    def test_csv_written(self, comm, tmp_path):
+        self._run_with_probes(comm, tmp_path)
+        lines = (tmp_path / "history_points.csv").read_text().splitlines()
+        assert lines[0].startswith("step,time,probe")
+        assert len(lines) == 1 + 3 * 2  # header + steps x probes
+
+    def test_requires_solver_adaptor(self, comm):
+        probes = HistoryPoints(comm, points=np.array([[0.5, 0.5, 0.5]]))
+
+        class Fake:
+            def get_data_time_step(self):
+                return 0
+
+            def get_data_time(self):
+                return 0.0
+
+        with pytest.raises(TypeError):
+            probes.execute(Fake())
+
+    def test_xml_registration(self, comm, tmp_path, tiny_solver):
+        xml = (
+            '<sensei><analysis type="history_points" '
+            'points="0.5,0.5,0.5; 0.1,0.2,0.3" arrays="pressure" '
+            'frequency="1"/></sensei>'
+        )
+        bridge = Bridge(tiny_solver, config_xml=xml, output_dir=tmp_path)
+        tiny_solver.run(2, observer=bridge.observer)
+        probes = bridge.analysis.adaptors[0][1]
+        assert probes.points.shape == (2, 3)
+        assert len(probes.samples) == 2
+
+    def test_validation(self, comm):
+        with pytest.raises(ValueError):
+            HistoryPoints(comm, points=np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            HistoryPoints(comm, points=np.zeros((2, 2)))
+
+    def test_parallel_matches_serial(self, tmp_path):
+        def body(comm):
+            case = lid_cavity_case(reynolds=100, elements=2, order=3, dt=1e-2)
+            solver = NekRSSolver(case, comm)
+            probes = HistoryPoints(
+                comm, points=np.array([[0.5, 0.5, 0.9]]),
+                arrays=("velocity_x",),
+            )
+            bridge = Bridge(solver, analysis=probes)
+            solver.run(2, observer=bridge.observer)
+            return probes.series("velocity_x", 0)
+
+        serial = run_spmd(1, body)[0]
+        par = run_spmd(2, body)[0]
+        np.testing.assert_allclose(par, serial, atol=1e-12)

@@ -1,0 +1,137 @@
+"""Tests for the posthoc series/stats/movie tooling."""
+
+import numpy as np
+import pytest
+
+from repro.nekrs import NekRSSolver
+from repro.nekrs.cases import lid_cavity_case
+from repro.nekrs.checkpoint import write_checkpoint
+from repro.parallel import SerialCommunicator, run_spmd
+from repro.posthoc import FldSeries, render_series, temporal_mean, temporal_rms
+
+
+@pytest.fixture
+def series_dir(tmp_path):
+    """A 3-dump series written from a real 2-rank run."""
+    case = lid_cavity_case(reynolds=100, elements=2, order=3, dt=1e-2)
+
+    def body(comm):
+        solver = NekRSSolver(case, comm)
+        for _ in range(3):
+            report = solver.step()
+            write_checkpoint(
+                tmp_path, case.name, report.step, report.time,
+                comm.rank, comm.size,
+                {"velocity_x": solver.u, "pressure": solver.p},
+            )
+        return solver.ops.integrate(solver.u)
+
+    final_flux = run_spmd(2, body)[0]
+    return tmp_path, case, final_flux
+
+
+class TestDiscovery:
+    def test_finds_all_dumps(self, series_dir):
+        directory, case, _ = series_dir
+        series = FldSeries.discover(directory)
+        assert series.case == case.name
+        assert series.steps == [1, 2, 3]
+        assert series.field_names == ("velocity_x", "pressure")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FldSeries.discover(tmp_path)
+
+    def test_case_filter(self, series_dir, tmp_path):
+        directory, case, _ = series_dir
+        with pytest.raises(FileNotFoundError):
+            FldSeries.discover(directory, case="othercase")
+
+    def test_incomplete_dump_detected(self, series_dir):
+        directory, case, _ = series_dir
+        # delete one rank file of step 2
+        victim = next(directory.glob(f"{case.name}0.f00002.r0001"))
+        victim.unlink()
+        with pytest.raises(ValueError, match="incomplete"):
+            FldSeries.discover(directory)
+
+    def test_mixed_cases_rejected(self, series_dir):
+        directory, _, _ = series_dir
+        write_checkpoint(
+            directory, "intruder", 1, 0.0, 0, 1,
+            {"pressure": np.zeros((1, 4, 4, 4))},
+        )
+        with pytest.raises(ValueError, match="multiple cases"):
+            FldSeries.discover(directory)
+
+
+class TestLoading:
+    def test_global_reassembly(self, series_dir):
+        """The 2-rank dump reloads identical to the live global field."""
+        directory, case, _ = series_dir
+        series = FldSeries.discover(directory)
+        # replay the run on 1 rank to get the reference global state
+        solver = NekRSSolver(case, SerialCommunicator())
+        solver.run(3)
+        _, fields = series.load(3)
+        np.testing.assert_allclose(fields["velocity_x"], solver.u, atol=1e-12)
+        np.testing.assert_allclose(fields["pressure"], solver.p, atol=1e-10)
+
+    def test_missing_step(self, series_dir):
+        series = FldSeries.discover(series_dir[0])
+        with pytest.raises(KeyError):
+            series.load(99)
+
+    def test_iter_loaded_in_order(self, series_dir):
+        series = FldSeries.discover(series_dir[0])
+        steps = [h.step for h, _ in series.iter_loaded()]
+        assert steps == [1, 2, 3]
+
+
+class TestStats:
+    def test_mean_matches_numpy(self, series_dir):
+        series = FldSeries.discover(series_dir[0])
+        stack = np.stack([f["velocity_x"] for _, f in series.iter_loaded()])
+        np.testing.assert_allclose(
+            temporal_mean(series, "velocity_x"), stack.mean(axis=0), atol=1e-12
+        )
+
+    def test_rms_matches_numpy(self, series_dir):
+        series = FldSeries.discover(series_dir[0])
+        stack = np.stack([f["velocity_x"] for _, f in series.iter_loaded()])
+        np.testing.assert_allclose(
+            temporal_rms(series, "velocity_x"), stack.std(axis=0), atol=1e-12
+        )
+
+    def test_unknown_array(self, series_dir):
+        series = FldSeries.discover(series_dir[0])
+        with pytest.raises(KeyError):
+            temporal_mean(series, "vorticity")
+
+    def test_spinup_has_fluctuation(self, series_dir):
+        series = FldSeries.discover(series_dir[0])
+        assert temporal_rms(series, "velocity_x").max() > 0
+
+
+class TestMovie:
+    def test_renders_frame_per_dump(self, series_dir, tmp_path):
+        directory, case, _ = series_dir
+        series = FldSeries.discover(directory)
+        outputs = render_series(
+            series, case, tmp_path / "frames",
+            arrays=("velocity_x",), width=96, height=96,
+        )
+        pngs = [p for p in outputs if p.suffix == ".png"]
+        apngs = [p for p in outputs if p.suffix == ".apng"]
+        assert len(pngs) == 3        # one frame per dump
+        assert len(apngs) == 1       # plus the assembled animation
+        for f in outputs:
+            assert f.exists()
+            assert f.stat().st_size > 0
+
+    def test_mesh_mismatch_rejected(self, series_dir, tmp_path):
+        directory, _, _ = series_dir
+        series = FldSeries.discover(directory)
+        wrong = lid_cavity_case(elements=3, order=3, dt=1e-2)
+        with pytest.raises(ValueError, match="does not match"):
+            render_series(series, wrong, tmp_path / "frames")

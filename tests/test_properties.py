@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.adios.marshal import StepPayload, marshal_step, unmarshal_step
+from repro.catalyst.colormaps import apply_colormap
+from repro.catalyst.contour import marching_tetrahedra
+from repro.parallel.comm import ReduceOp, _combine
+from repro.parallel.partition import block_partition, owner_of
+from repro.sem.quadrature import gll_nodes_weights, lagrange_interpolation_matrix
+from repro.util.png import decode_png, encode_png
+from repro.util.sizes import format_bytes
+from repro.util.timing import TimingStats
+
+
+class TestPartitionProperties:
+    @given(n=st.integers(0, 500), size=st.integers(1, 64))
+    def test_partition_tiles_range(self, n, size):
+        ranges = block_partition(n, size)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n
+        for (lo_a, hi_a), (lo_b, _) in zip(ranges, ranges[1:]):
+            assert hi_a == lo_b
+            assert hi_a >= lo_a
+
+    @given(n=st.integers(1, 500), size=st.integers(1, 64))
+    def test_balance_within_one(self, n, size):
+        sizes = [hi - lo for lo, hi in block_partition(n, size)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(data=st.data(), n=st.integers(1, 300), size=st.integers(1, 32))
+    def test_owner_consistency(self, data, n, size):
+        idx = data.draw(st.integers(0, n - 1))
+        owner = owner_of(idx, n, size)
+        lo, hi = block_partition(n, size)[owner]
+        assert lo <= idx < hi
+
+
+class TestPngProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        img=hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(
+                st.integers(1, 12), st.integers(1, 12), st.sampled_from([1, 3, 4])
+            ),
+        )
+    )
+    def test_roundtrip(self, img):
+        decoded = decode_png(encode_png(img))
+        expected = img[:, :, 0] if img.shape[2] == 1 else img
+        np.testing.assert_array_equal(decoded, expected)
+
+
+class TestMarshalProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        step=st.integers(0, 10**6),
+        time=st.floats(0, 1e6, allow_nan=False),
+        rank=st.integers(0, 4096),
+        arr=st.one_of(
+            hnp.arrays(
+                dtype=st.sampled_from([np.float64, np.float32]),
+                shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=6),
+                elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+            ),
+            hnp.arrays(
+                dtype=st.sampled_from([np.int64, np.int32]),
+                shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=6),
+            ),
+        ),
+    )
+    def test_roundtrip(self, step, time, rank, arr):
+        payload = StepPayload(step, time, rank, {"v": arr}, {"k": "val"})
+        out = unmarshal_step(marshal_step(payload))
+        assert out.step == step and out.rank == rank
+        assert out.time == time
+        np.testing.assert_array_equal(out.variables["v"], arr)
+        assert out.variables["v"].dtype == arr.dtype
+
+
+class TestReduceProperties:
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=20))
+    def test_sum_order_invariant(self, values):
+        assert _combine(ReduceOp.SUM, values) == _combine(
+            ReduceOp.SUM, list(reversed(values))
+        )
+
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=20))
+    def test_min_le_max(self, values):
+        assert _combine(ReduceOp.MIN, values) <= _combine(ReduceOp.MAX, values)
+
+    @given(values=st.lists(st.booleans(), min_size=1, max_size=10))
+    def test_logical_consistency(self, values):
+        assert _combine(ReduceOp.LAND, values) == all(values)
+        assert _combine(ReduceOp.LOR, values) == any(values)
+
+
+class TestQuadratureProperties:
+    @given(order=st.integers(1, 10))
+    def test_weights_positive_sum_two(self, order):
+        x, w = gll_nodes_weights(order)
+        assert (w > 0).all()
+        assert w.sum() == pytest.approx(2.0)
+        assert x[0] == -1.0 and x[-1] == 1.0
+
+    @given(
+        order=st.integers(1, 8),
+        coeffs=st.lists(st.floats(-5, 5, allow_nan=False), min_size=1, max_size=4),
+    )
+    def test_interpolation_reproduces_its_own_degree(self, order, coeffs):
+        coeffs = coeffs[: order + 1]
+        x, _ = gll_nodes_weights(order)
+        targets = np.linspace(-1, 1, 7)
+        J = lagrange_interpolation_matrix(x, targets)
+        poly = np.polynomial.Polynomial(coeffs)
+        np.testing.assert_allclose(J @ poly(x), poly(targets), atol=1e-8)
+
+
+class TestColormapProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        vals=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(1, 50),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        ),
+        name=st.sampled_from(["viridis", "plasma", "coolwarm", "grayscale"]),
+    )
+    def test_output_always_valid_rgb(self, vals, name):
+        rgb = apply_colormap(vals, name=name)
+        assert rgb.dtype == np.uint8
+        assert rgb.shape == vals.shape + (3,)
+
+    @given(
+        lo=st.floats(-100, 100, allow_nan=False),
+        span=st.floats(0.1, 100, allow_nan=False),
+    )
+    def test_monotone_in_grayscale(self, lo, span):
+        vals = np.linspace(lo, lo + span, 16)
+        rgb = apply_colormap(vals, vmin=lo, vmax=lo + span, name="grayscale")
+        assert (np.diff(rgb[:, 0].astype(int)) >= 0).all()
+
+
+class TestContourProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        vol=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5)),
+            elements=st.floats(-1, 1, allow_nan=False),
+        ),
+        iso=st.floats(-0.5, 0.5, allow_nan=False),
+    )
+    def test_surface_vertices_sit_on_isovalue(self, vol, iso):
+        """Every extracted vertex interpolates the scalar to the isovalue
+        (up to degenerate edges where both endpoints equal iso)."""
+        verts, faces, vals = marching_tetrahedra(vol, iso)
+        if len(vals):
+            np.testing.assert_allclose(vals, iso, atol=1e-9)
+            assert faces.max() < len(verts)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        vol=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 4), st.integers(2, 4), st.integers(2, 4)),
+            elements=st.floats(-1, 1, allow_nan=False),
+        )
+    )
+    def test_no_crossing_when_iso_outside_range(self, vol):
+        verts, faces, _ = marching_tetrahedra(vol, vol.max() + 1.0)
+        assert len(faces) == 0
+
+
+class TestTimingStatsProperties:
+    @given(
+        a=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=20),
+        b=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=20),
+    )
+    def test_merge_equals_sequential(self, a, b):
+        merged, seq = TimingStats(), TimingStats()
+        other = TimingStats()
+        for x in a:
+            merged.add(x)
+            seq.add(x)
+        for x in b:
+            other.add(x)
+            seq.add(x)
+        merged.merge(other)
+        assert merged.count == seq.count
+        assert merged.mean == pytest.approx(seq.mean, abs=1e-9)
+        assert merged.variance == pytest.approx(seq.variance, abs=1e-6)
+
+
+class TestSizesProperties:
+    @given(n=st.integers(0, 2**50))
+    def test_format_never_crashes_and_mentions_unit(self, n):
+        out = format_bytes(n)
+        assert any(u in out for u in ("B", "KiB", "MiB", "GiB", "TiB"))

@@ -1,0 +1,119 @@
+"""Additional property-based tests: dealiasing, point evaluation,
+Morton partitioning, compression bounds under composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import SerialCommunicator
+from repro.parallel.partition import morton_encode, morton_partition
+from repro.sem import BoxMesh
+from repro.sem.dealias import dealiased_product, project_back, to_fine
+from repro.sem.pointeval import PointLocator
+
+
+class TestDealiasProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        order=st.integers(2, 6),
+        seed=st.integers(0, 10**6),
+    )
+    def test_projection_is_idempotent_on_pn(self, order, seed):
+        """to_fine/project_back round-trips any P_N field exactly."""
+        rng = np.random.default_rng(seed)
+        f = rng.normal(size=(1, order + 1, order + 1, order + 1))
+        out = project_back(to_fine(f, order), order)
+        np.testing.assert_allclose(out, f, atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(order=st.integers(2, 5), seed=st.integers(0, 10**6))
+    def test_product_linearity(self, order, seed):
+        """dealiased_product is bilinear: (2a, b) == 2 (a, b)."""
+        rng = np.random.default_rng(seed)
+        shape = (1, order + 1, order + 1, order + 1)
+        a = rng.normal(size=shape)
+        b = rng.normal(size=shape)
+        one = dealiased_product(a, b, order)
+        two = dealiased_product(2.0 * a, b, order)
+        np.testing.assert_allclose(two, 2.0 * one, atol=1e-8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(order=st.integers(2, 5), seed=st.integers(0, 10**6))
+    def test_product_symmetric(self, order, seed):
+        rng = np.random.default_rng(seed)
+        shape = (1, order + 1, order + 1, order + 1)
+        a = rng.normal(size=shape)
+        b = rng.normal(size=shape)
+        np.testing.assert_allclose(
+            dealiased_product(a, b, order),
+            dealiased_product(b, a, order),
+            atol=1e-9,
+        )
+
+
+class TestPointEvalProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        order=st.integers(2, 5),
+    )
+    def test_exact_on_random_linear_fields(self, seed, order):
+        rng = np.random.default_rng(seed)
+        a, b, c, d = rng.normal(size=4)
+        mesh = BoxMesh((2, 2, 2), order=order)
+        loc = PointLocator(mesh)
+        x, y, z = mesh.coords()
+        field = a * x + b * y + c * z + d
+        pts = rng.uniform(0.0, 1.0, size=(8, 3))
+        vals = loc.evaluate(field, pts, SerialCommunicator())
+        expected = a * pts[:, 0] + b * pts[:, 1] + c * pts[:, 2] + d
+        np.testing.assert_allclose(vals, expected, atol=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_located_element_contains_point(self, seed):
+        rng = np.random.default_rng(seed)
+        mesh = BoxMesh((3, 2, 4), ((0, 0, 0), (3.0, 1.0, 2.0)), order=2)
+        loc = PointLocator(mesh)
+        pts = rng.uniform(0.0, 1.0, size=(16, 3)) * [3.0, 1.0, 2.0]
+        elem, ref = loc.locate(pts)
+        assert (elem >= 0).all()
+        assert (np.abs(ref) <= 1.0 + 1e-12).all()
+        for p, e in zip(pts, elem):
+            origin_idx = np.nonzero(mesh.elem_ids == e)[0]
+            assert len(origin_idx) == 1
+            org = mesh.elem_origins[origin_idx[0]]
+            assert np.all(p >= org - 1e-9)
+            assert np.all(p <= org + mesh.elem_sizes + 1e-9)
+
+
+class TestMortonProperties:
+    @given(
+        ex=st.integers(1, 6), ey=st.integers(1, 6), ez=st.integers(1, 6),
+        size=st.integers(1, 12),
+    )
+    def test_partition_always_tiles(self, ex, ey, ez, size):
+        parts = morton_partition((ex, ey, ez), size)
+        assert len(parts) == size
+        combined = sorted(np.concatenate(parts).tolist())
+        assert combined == list(range(ex * ey * ez))
+
+    @given(
+        ex=st.integers(1, 6), ey=st.integers(1, 6), ez=st.integers(1, 6),
+        size=st.integers(1, 12),
+    )
+    def test_partition_balanced(self, ex, ey, ez, size):
+        sizes = [len(p) for p in morton_partition((ex, ey, ez), size)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        coords=st.lists(
+            st.tuples(st.integers(0, 200), st.integers(0, 200),
+                      st.integers(0, 200)),
+            min_size=1, max_size=50, unique=True,
+        )
+    )
+    def test_codes_injective(self, coords):
+        ix, iy, iz = (np.array(c) for c in zip(*coords))
+        codes = morton_encode(ix, iy, iz)
+        assert len(set(codes.tolist())) == len(coords)

@@ -1,0 +1,178 @@
+"""Tests for the CG solver and spectral resampling."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialCommunicator, run_spmd
+from repro.sem import BoxMesh, SEMOperators, cg_solve, BoundaryTag
+from repro.sem.interp import (
+    assemble_global_grid,
+    grid_dims,
+    grid_spacing,
+    local_blocks,
+    resample_field,
+)
+
+
+class TestCGOnSPDMatrix:
+    """CG against a small dense SPD system (dot = plain dot)."""
+
+    def _solve(self, n=20, seed=1, **kw):
+        rng = np.random.default_rng(seed)
+        M = rng.normal(size=(n, n))
+        A = M @ M.T + n * np.eye(n)
+        x_true = rng.normal(size=n)
+        b = A @ x_true
+        res = cg_solve(lambda v: A @ v, b, lambda u, v: float(u @ v), **kw)
+        return res, x_true
+
+    def test_converges(self):
+        res, x_true = self._solve(tol=1e-12, max_iterations=200)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+
+    def test_jacobi_preconditioner_helps(self):
+        rng = np.random.default_rng(0)
+        n = 40
+        # badly scaled diagonal system + small coupling
+        d = 10.0 ** rng.uniform(0, 4, size=n)
+        A = np.diag(d) + 0.1 * np.ones((n, n))
+        b = rng.normal(size=n)
+        dot = lambda u, v: float(u @ v)
+        plain = cg_solve(lambda v: A @ v, b, dot, tol=1e-10, max_iterations=3000)
+        pre = cg_solve(
+            lambda v: A @ v, b, dot, precond=1.0 / np.diag(A),
+            tol=1e-10, max_iterations=3000,
+        )
+        assert pre.iterations < plain.iterations
+
+    def test_zero_rhs(self):
+        res, _ = self._solve()
+        out = cg_solve(lambda v: v, np.zeros(5), lambda u, v: float(u @ v))
+        assert out.converged and out.iterations == 0
+        np.testing.assert_array_equal(out.x, 0.0)
+
+    def test_x0_warm_start(self):
+        rng = np.random.default_rng(3)
+        n = 15
+        M = rng.normal(size=(n, n))
+        A = M @ M.T + n * np.eye(n)
+        x_true = rng.normal(size=n)
+        b = A @ x_true
+        dot = lambda u, v: float(u @ v)
+        cold = cg_solve(lambda v: A @ v, b, dot, tol=1e-10, max_iterations=300)
+        warm = cg_solve(
+            lambda v: A @ v, b, dot, x0=x_true + 1e-6, tol=1e-10, max_iterations=300
+        )
+        # a good initial guess starts with a far smaller residual (the
+        # tolerance is relative, so iteration counts may match)
+        assert warm.initial_residual < 1e-3 * cold.initial_residual
+        np.testing.assert_allclose(warm.x, x_true, atol=1e-8)
+
+    def test_max_iterations_reports_not_converged(self):
+        res, _ = self._solve(tol=1e-14, max_iterations=1)
+        assert not res.converged
+        assert res.iterations == 1
+
+    def test_indefinite_bails_out(self):
+        A = np.diag([1.0, -1.0])
+        b = np.array([1.0, 1.0])
+        res = cg_solve(lambda v: A @ v, b, lambda u, v: float(u @ v), max_iterations=50)
+        assert not res.converged
+
+
+class TestCGOnSEM:
+    def test_dirichlet_poisson_parallel_matches_serial(self):
+        shape, order = (3, 2, 2), 4
+
+        def body(comm):
+            mesh = BoxMesh(shape, order=order, rank=comm.rank, size=comm.size)
+            ops = SEMOperators(mesh, comm)
+            x, y, z = mesh.coords()
+            ue = np.sin(np.pi * x) * np.sin(np.pi * y) * np.sin(np.pi * z)
+            mask = ~mesh.boundary_union(list(BoundaryTag))
+            b = ops.assemble(ops.mass_apply(3 * np.pi**2 * ue)) * mask
+            diag = ops.stiffness_diagonal()
+            pre = np.where(diag > 0, 1.0 / np.where(diag > 0, diag, 1), 0) * mask
+            res = cg_solve(
+                lambda u: ops.assemble(ops.stiffness_apply(u)) * mask,
+                b, ops.dot, precond=pre, tol=1e-10, max_iterations=500,
+            )
+            err = ops.norm(res.x - ue * mask) / ops.norm(ue)
+            return res.iterations, err
+
+        serial = run_spmd(1, body)[0]
+        par = run_spmd(4, body)[0]
+        assert serial[0] == par[0]          # identical iteration counts
+        assert par[1] < 1e-4
+
+    def test_periodic_neumann_poisson(self):
+        """The all-Neumann problem converges with nullspace projection."""
+        L = 2 * np.pi
+        mesh = BoxMesh((2, 2, 2), ((0, 0, 0), (L, L, L)), order=6,
+                       periodic=(True, True, True))
+        ops = SEMOperators(mesh, SerialCommunicator())
+        x, _, _ = mesh.coords()
+        pe = np.sin(x)
+        b = ops.assemble(ops.mass_apply(np.sin(x)))
+        diag = ops.stiffness_diagonal()
+        res = cg_solve(
+            lambda u: ops.assemble(ops.stiffness_apply(u)),
+            b, ops.dot, precond=1.0 / diag, tol=1e-10, max_iterations=500,
+            project_nullspace=ops.project_out_nullspace,
+        )
+        assert res.converged
+        err = ops.norm(ops.project_out_nullspace(res.x - pe)) / ops.norm(pe)
+        assert err < 1e-4  # discretization error of sin(x) at order 6, E=2
+
+
+class TestResampling:
+    def test_reproduces_polynomials_exactly(self):
+        mesh = BoxMesh((2, 2, 2), order=4)
+        x, y, z = mesh.coords()
+        f = x**3 + 2 * y**2 * z
+        res = resample_field(mesh, f, samples=5)
+        # compare against the polynomial evaluated at the sample points
+        blocks = local_blocks(mesh, f, samples=5)
+        sp = grid_spacing(mesh, 5)
+        for (ox, oy, oz), block in blocks:
+            for k in range(5):
+                for j in range(5):
+                    for i in range(5):
+                        px = (ox + i + 0.5) * sp[0]
+                        py = (oy + j + 0.5) * sp[1]
+                        pz = (oz + k + 0.5) * sp[2]
+                        assert block[k, j, i] == pytest.approx(
+                            px**3 + 2 * py**2 * pz, abs=1e-10
+                        )
+
+    def test_grid_dims(self):
+        mesh = BoxMesh((2, 3, 4), order=3)
+        assert grid_dims(mesh, 2) == (4, 6, 8)
+
+    def test_assembled_grid_covers_domain(self):
+        mesh = BoxMesh((2, 2, 1), order=2)
+        f = np.ones(mesh.field_shape())
+        grid = assemble_global_grid(mesh, local_blocks(mesh, f, 3), 3)
+        assert grid.shape == (3, 6, 6)
+        np.testing.assert_array_equal(grid, 1.0)
+
+    def test_partitioned_blocks_fill_disjoint_regions(self):
+        shape, order, s = (2, 2, 1), 2, 2
+
+        def body(comm):
+            mesh = BoxMesh(shape, order=order, rank=comm.rank, size=comm.size)
+            f = np.full(mesh.field_shape(), float(comm.rank + 1))
+            return local_blocks(mesh, f, s)
+
+        results = run_spmd(2, body)
+        full_mesh = BoxMesh(shape, order=order)
+        grid = assemble_global_grid(full_mesh, results[0] + results[1], s, fill=0.0)
+        assert (grid == 0).sum() == 0  # fully covered
+        rounded = set(np.round(np.unique(grid), 9))
+        assert rounded == {1.0, 2.0}
+
+    def test_shape_mismatch_raises(self):
+        mesh = BoxMesh((2, 1, 1), order=2)
+        with pytest.raises(ValueError):
+            resample_field(mesh, np.zeros((1, 3, 3, 3)), 2)

@@ -1,0 +1,113 @@
+"""Tests for GLL quadrature and spectral differentiation."""
+
+import numpy as np
+import pytest
+
+from repro.sem.quadrature import (
+    derivative_matrix,
+    gll_nodes_weights,
+    lagrange_interpolation_matrix,
+    uniform_nodes,
+)
+
+
+class TestNodesWeights:
+    def test_order_one(self):
+        x, w = gll_nodes_weights(1)
+        np.testing.assert_allclose(x, [-1, 1])
+        np.testing.assert_allclose(w, [1, 1])
+
+    def test_order_two_known_values(self):
+        x, w = gll_nodes_weights(2)
+        np.testing.assert_allclose(x, [-1, 0, 1])
+        np.testing.assert_allclose(w, [1 / 3, 4 / 3, 1 / 3])
+
+    def test_order_four_known_interior(self):
+        x, _ = gll_nodes_weights(4)
+        np.testing.assert_allclose(x[1], -np.sqrt(3 / 7), atol=1e-13)
+
+    @pytest.mark.parametrize("order", range(1, 12))
+    def test_weights_sum_to_two(self, order):
+        _, w = gll_nodes_weights(order)
+        assert w.sum() == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("order", range(2, 10))
+    def test_nodes_sorted_symmetric(self, order):
+        x, w = gll_nodes_weights(order)
+        assert np.all(np.diff(x) > 0)
+        np.testing.assert_allclose(x, -x[::-1], atol=1e-13)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-13)
+
+    @pytest.mark.parametrize("order", [3, 5, 8])
+    def test_quadrature_exact_to_2n_minus_1(self, order):
+        """GLL integrates polynomials up to degree 2N-1 exactly."""
+        x, w = gll_nodes_weights(order)
+        for deg in range(2 * order):
+            exact = 0.0 if deg % 2 else 2.0 / (deg + 1)
+            assert w @ x**deg == pytest.approx(exact, abs=1e-12), deg
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            gll_nodes_weights(0)
+
+
+class TestDerivativeMatrix:
+    @pytest.mark.parametrize("order", [2, 4, 7])
+    def test_exact_on_polynomials(self, order):
+        x, _ = gll_nodes_weights(order)
+        D = derivative_matrix(order)
+        for deg in range(order + 1):
+            f = x**deg
+            df = deg * x ** max(deg - 1, 0) if deg else np.zeros_like(x)
+            np.testing.assert_allclose(D @ f, df, atol=1e-10)
+
+    def test_constant_maps_to_zero(self):
+        D = derivative_matrix(6)
+        np.testing.assert_allclose(D @ np.ones(7), 0.0, atol=1e-12)
+
+    def test_spectral_accuracy_on_sin(self):
+        order = 12
+        x, _ = gll_nodes_weights(order)
+        D = derivative_matrix(order)
+        np.testing.assert_allclose(D @ np.sin(x), np.cos(x), atol=1e-9)
+
+
+class TestInterpolation:
+    def test_exact_at_nodes(self):
+        x, _ = gll_nodes_weights(5)
+        J = lagrange_interpolation_matrix(x, x)
+        np.testing.assert_allclose(J, np.eye(6), atol=1e-12)
+
+    @pytest.mark.parametrize("order", [3, 6])
+    def test_reproduces_polynomials(self, order):
+        x, _ = gll_nodes_weights(order)
+        targets = np.linspace(-1, 1, 17)
+        J = lagrange_interpolation_matrix(x, targets)
+        for deg in range(order + 1):
+            np.testing.assert_allclose(J @ x**deg, targets**deg, atol=1e-10)
+
+    def test_partition_of_unity(self):
+        x, _ = gll_nodes_weights(7)
+        J = lagrange_interpolation_matrix(x, np.linspace(-1, 1, 11))
+        np.testing.assert_allclose(J.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_scalar_target(self):
+        x, _ = gll_nodes_weights(3)
+        J = lagrange_interpolation_matrix(x, 0.3)
+        assert J.shape == (1, 4)
+
+
+class TestUniformNodes:
+    def test_with_ends(self):
+        np.testing.assert_allclose(uniform_nodes(3), [-1, 0, 1])
+
+    def test_without_ends_cell_centers(self):
+        np.testing.assert_allclose(uniform_nodes(2, include_ends=False), [-0.5, 0.5])
+
+    def test_single_point(self):
+        np.testing.assert_allclose(uniform_nodes(1), [0.0])
+        np.testing.assert_allclose(uniform_nodes(1, include_ends=False), [0.0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_nodes(0)

@@ -1,0 +1,77 @@
+"""Tests for the PNG encoder/decoder."""
+
+import numpy as np
+import pytest
+
+from repro.util.png import decode_png, encode_png, write_png
+
+
+def _random_image(rng, h, w, c):
+    img = rng.integers(0, 256, size=(h, w, c), dtype=np.uint8)
+    return img[:, :, 0] if c == 1 else img
+
+
+class TestEncode:
+    def test_signature(self, rng):
+        data = encode_png(_random_image(rng, 4, 4, 3))
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"
+        assert data.endswith(b"IEND" + data[-4:])
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            encode_png(np.zeros((4, 4, 3)))
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            encode_png(np.zeros((4, 4, 2), dtype=np.uint8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            encode_png(np.zeros((0, 4, 3), dtype=np.uint8))
+
+    def test_smooth_compresses_better_than_noise(self, rng):
+        noise = _random_image(rng, 64, 64, 3)
+        smooth = np.tile(np.arange(64, dtype=np.uint8)[None, :, None], (64, 1, 3))
+        assert len(encode_png(smooth)) < len(encode_png(noise))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("channels", [1, 3, 4])
+    def test_random(self, rng, channels):
+        img = _random_image(rng, 13, 17, channels)
+        out = decode_png(encode_png(img))
+        np.testing.assert_array_equal(out, img)
+
+    def test_single_pixel(self):
+        img = np.array([[[255, 0, 128]]], dtype=np.uint8)
+        np.testing.assert_array_equal(decode_png(encode_png(img)), img)
+
+    def test_gradient(self):
+        g = np.linspace(0, 255, 32).astype(np.uint8)
+        img = np.stack([np.tile(g, (32, 1))] * 3, axis=2)
+        np.testing.assert_array_equal(decode_png(encode_png(img)), img)
+
+    def test_grayscale_shape(self, rng):
+        img = _random_image(rng, 8, 8, 1)
+        out = decode_png(encode_png(img))
+        assert out.shape == (8, 8)
+
+
+class TestWritePng:
+    def test_returns_bytes_written(self, tmp_path, rng):
+        img = _random_image(rng, 8, 8, 3)
+        path = tmp_path / "out.png"
+        n = write_png(path, img)
+        assert path.stat().st_size == n
+
+    def test_file_decodes(self, tmp_path, rng):
+        img = _random_image(rng, 8, 8, 3)
+        path = tmp_path / "out.png"
+        write_png(path, img)
+        np.testing.assert_array_equal(decode_png(path.read_bytes()), img)
+
+
+class TestDecodeErrors:
+    def test_not_png(self):
+        with pytest.raises(ValueError):
+            decode_png(b"definitely not a png")

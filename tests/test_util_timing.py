@@ -1,0 +1,132 @@
+"""Tests for repro.util.timing."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.timing import StopWatch, Timer, TimingStats
+
+
+class TestTimingStats:
+    def test_empty(self):
+        s = TimingStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.std == 0.0
+
+    def test_single_sample(self):
+        s = TimingStats()
+        s.add(2.5)
+        assert s.count == 1
+        assert s.mean == 2.5
+        assert s.min == 2.5
+        assert s.max == 2.5
+        assert s.variance == 0.0
+
+    def test_matches_numpy(self):
+        samples = [0.1, 0.5, 0.9, 1.7, 0.3]
+        s = TimingStats()
+        for x in samples:
+            s.add(x)
+        assert s.mean == pytest.approx(np.mean(samples))
+        assert s.std == pytest.approx(np.std(samples, ddof=1))
+        assert s.total == pytest.approx(sum(samples))
+
+    def test_merge_matches_single_stream(self):
+        a_samples = [1.0, 2.0, 3.0]
+        b_samples = [10.0, 20.0]
+        a, b, ref = TimingStats(), TimingStats(), TimingStats()
+        for x in a_samples:
+            a.add(x)
+            ref.add(x)
+        for x in b_samples:
+            b.add(x)
+            ref.add(x)
+        a.merge(b)
+        assert a.count == ref.count
+        assert a.mean == pytest.approx(ref.mean)
+        assert a.variance == pytest.approx(ref.variance)
+        assert a.min == ref.min and a.max == ref.max
+
+    def test_merge_into_empty(self):
+        a, b = TimingStats(), TimingStats()
+        b.add(4.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 4.0
+
+    def test_merge_empty_other(self):
+        a, b = TimingStats(), TimingStats()
+        a.add(1.0)
+        a.merge(b)
+        assert a.count == 1
+
+    def test_as_dict_keys(self):
+        s = TimingStats()
+        s.add(1.0)
+        d = s.as_dict()
+        assert set(d) == {"count", "total", "mean", "min", "max", "std"}
+
+
+class TestTimer:
+    def test_measures_time(self):
+        t = Timer().start()
+        time.sleep(0.01)
+        elapsed = t.stop()
+        assert elapsed >= 0.009
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_accumulates(self):
+        t = Timer()
+        t.start(); t.stop()
+        first = t.elapsed
+        t.start(); t.stop()
+        assert t.elapsed >= first
+
+    def test_reset(self):
+        t = Timer().start()
+        t.stop()
+        t.reset()
+        assert t.elapsed == 0.0 and not t.running
+
+
+class TestStopWatch:
+    def test_phase_context(self):
+        sw = StopWatch()
+        with sw.phase("a"):
+            pass
+        assert sw.stats("a").count == 1
+        assert sw.total("a") >= 0.0
+
+    def test_phase_records_exceptions_too(self):
+        sw = StopWatch()
+        with pytest.raises(ValueError):
+            with sw.phase("x"):
+                raise ValueError("boom")
+        assert sw.stats("x").count == 1
+
+    def test_unknown_phase_total_is_zero(self):
+        assert StopWatch().total("never") == 0.0
+
+    def test_merge(self):
+        a, b = StopWatch(), StopWatch()
+        a.add_sample("s", 1.0)
+        b.add_sample("s", 3.0)
+        b.add_sample("t", 2.0)
+        a.merge(b)
+        assert a.stats("s").count == 2
+        assert a.total("t") == 2.0
+
+    def test_as_dict(self):
+        sw = StopWatch()
+        sw.add_sample("p", 0.5)
+        assert math.isclose(sw.as_dict()["p"]["total"], 0.5)
