@@ -32,6 +32,13 @@ from repro.adios.engine import (
     BPFileReaderEngine,
     EndOfStream,
     StepStatus,
+    StreamStats,
+)
+from repro.faults.errors import (
+    CorruptPayloadError,
+    EndpointDownError,
+    StreamTimeout,
+    TransportError,
 )
 
 __all__ = [
@@ -45,6 +52,11 @@ __all__ = [
     "BPFileReaderEngine",
     "EndOfStream",
     "StepStatus",
+    "StreamStats",
+    "TransportError",
+    "StreamTimeout",
+    "EndpointDownError",
+    "CorruptPayloadError",
     "marshal_step",
     "unmarshal_step",
     "StepPayload",

@@ -22,6 +22,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.adios.marshal import StepPayload, marshal_step, unmarshal_step
+from repro.faults.errors import (
+    CorruptPayloadError,
+    EndpointDownError,
+    StreamTimeout,
+)
+from repro.faults.injector import FaultInjector, FaultLog
+from repro.faults.retry import RetryPolicy
 
 
 class EndOfStream(Exception):
@@ -41,8 +48,10 @@ class StreamStats:
     steps_put: int = 0
     steps_got: int = 0
     steps_discarded: int = 0
+    steps_corrupt: int = 0
     bytes_put: int = 0
     bytes_got: int = 0
+    faults: FaultLog = field(default_factory=FaultLog)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_put(self, nbytes: int) -> None:
@@ -58,6 +67,10 @@ class StreamStats:
     def record_discard(self) -> None:
         with self._lock:
             self.steps_discarded += 1
+
+    def record_corrupt(self) -> None:
+        with self._lock:
+            self.steps_corrupt += 1
 
 
 class SSTBroker:
@@ -78,6 +91,7 @@ class SSTBroker:
         queue_limit: int = 2,
         queue_full_policy: str = "Block",
         timeout: float = 120.0,
+        injector: FaultInjector | None = None,
     ):
         if num_writers < 1:
             raise ValueError("num_writers must be >= 1")
@@ -89,22 +103,57 @@ class SSTBroker:
         self.queue_limit = queue_limit
         self.queue_full_policy = queue_full_policy
         self.timeout = timeout
+        self.injector = injector
         self.queues: list[queue.Queue] = [
             queue.Queue(maxsize=queue_limit) for _ in range(num_writers)
         ]
         self.stats = StreamStats()
+        if injector is not None:
+            # one ledger: injector decisions and stream accounting share it
+            self.stats.faults = injector.log
+        self.endpoint_down = threading.Event()
 
-    def put(self, writer_rank: int, payload_bytes: bytes) -> None:
+    def mark_endpoint_down(self) -> None:
+        """Declare the consumer side dead: writers fail fast from now on."""
+        self.endpoint_down.set()
+
+    def put(
+        self,
+        writer_rank: int,
+        payload_bytes: bytes,
+        step: int = -1,
+        timeout: float | None = None,
+    ) -> None:
+        if self.endpoint_down.is_set():
+            raise EndpointDownError(
+                f"SST writer {writer_rank}: endpoint marked down"
+            )
+        inj = self.injector
+        if inj is not None:
+            stall = inj.maybe("writer_stall", "broker.put", step, key=writer_rank)
+            if stall is not None:
+                inj.sleep(stall)
+                self.stats.faults.try_resolve("writer_stall", "recovered")
+            drop = inj.maybe("drop_step", "broker.put", step, key=writer_rank)
+            if drop is not None:
+                self.stats.record_discard()
+                self.stats.faults.try_resolve("drop_step", "detected")
+                return
         q = self.queues[writer_rank]
         if self.queue_full_policy == "Block":
             try:
-                q.put(payload_bytes, timeout=self.timeout)
+                q.put(payload_bytes, timeout=self.timeout if timeout is None else timeout)
             except queue.Full:
-                raise TimeoutError(
-                    f"SST writer {writer_rank} blocked > {self.timeout}s "
+                raise StreamTimeout(
+                    f"SST writer {writer_rank} blocked > "
+                    f"{self.timeout if timeout is None else timeout:g}s "
                     "(reader stalled?)"
                 ) from None
         else:
+            # Discard: drop the oldest staged step to make room.  A
+            # concurrent reader may drain the queue between our failed
+            # put and the drop attempt, so loop until the put lands;
+            # record a discard only when we actually removed a step.
             while True:
                 try:
                     q.put_nowait(payload_bytes)
@@ -112,23 +161,44 @@ class SSTBroker:
                 except queue.Full:
                     try:
                         q.get_nowait()
-                        self.stats.record_discard()
                     except queue.Empty:
-                        continue
+                        pass  # reader drained it concurrently; retry the put
+                    else:
+                        self.stats.record_discard()
         self.stats.record_put(len(payload_bytes))
 
     def close_writer(self, writer_rank: int) -> None:
-        self.queues[writer_rank].put(self._SENTINEL, timeout=self.timeout)
-
-    def get(self, writer_rank: int) -> bytes:
+        if self.endpoint_down.is_set():
+            return  # nobody is listening for the sentinel
         try:
-            item = self.queues[writer_rank].get(timeout=self.timeout)
+            self.queues[writer_rank].put(self._SENTINEL, timeout=self.timeout)
+        except queue.Full:
+            raise StreamTimeout(
+                f"SST writer {writer_rank} could not deliver end-of-stream "
+                f"within {self.timeout:g}s"
+            ) from None
+
+    def get(self, writer_rank: int, step: int = -1, timeout: float | None = None) -> bytes:
+        inj = self.injector
+        if inj is not None:
+            slow = inj.maybe("slow_consumer", "broker.get", step, key=writer_rank)
+            if slow is not None:
+                inj.sleep(slow)
+                self.stats.faults.try_resolve("slow_consumer", "recovered")
+        try:
+            item = self.queues[writer_rank].get(
+                timeout=self.timeout if timeout is None else timeout
+            )
         except queue.Empty:
-            raise TimeoutError(
+            raise StreamTimeout(
                 f"SST reader timed out waiting on writer {writer_rank}"
             ) from None
         if item is self._SENTINEL:
             raise EndOfStream
+        if inj is not None:
+            corrupt = inj.maybe("corrupt_payload", "broker.get", step, key=writer_rank)
+            if corrupt is not None:
+                item = inj.corrupt(item, corrupt)
         self.stats.record_get(len(item))
         return item
 
@@ -160,14 +230,28 @@ class Engine:
 
 
 class SSTWriterEngine(Engine):
-    """One writer rank's end of an SST stream."""
+    """One writer rank's end of an SST stream.
 
-    def __init__(self, name: str, broker: SSTBroker, writer_rank: int):
+    With a :class:`RetryPolicy`, a timed-out put is retried with
+    backoff instead of killing the run; exhaustion raises
+    :class:`EndpointDownError`.  Step state is reset even when the
+    transport fails, so a degraded writer keeps streaming (or keeps
+    falling back) on subsequent steps.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        broker: SSTBroker,
+        writer_rank: int,
+        retry: RetryPolicy | None = None,
+    ):
         super().__init__(name, "w")
         if not 0 <= writer_rank < broker.num_writers:
             raise ValueError(f"writer rank {writer_rank} out of range")
         self.broker = broker
         self.writer_rank = writer_rank
+        self.retry = retry
         self._staged: dict[str, np.ndarray] = {}
         self._attrs: dict[str, str] = {}
         self._step = 0
@@ -176,6 +260,14 @@ class SSTWriterEngine(Engine):
     def set_step_info(self, step: int, time: float) -> None:
         self._step = step
         self._time = time
+
+    def begin_step(self) -> StepStatus:
+        if self.broker.endpoint_down.is_set():
+            # fail before staging work the transport cannot deliver
+            raise EndpointDownError(
+                f"SST writer {self.writer_rank}: endpoint marked down"
+            )
+        return super().begin_step()
 
     def put(self, name: str, array: np.ndarray) -> None:
         if not self._in_step:
@@ -193,9 +285,23 @@ class SSTWriterEngine(Engine):
             variables=dict(self._staged),
             attributes=dict(self._attrs),
         )
-        self.broker.put(self.writer_rank, marshal_step(payload))
-        self._staged.clear()
-        super().end_step()
+        data = marshal_step(payload)
+        try:
+            if self.retry is None:
+                self.broker.put(self.writer_rank, data, step=self._step)
+            else:
+                self.retry.call(
+                    lambda attempt: self.broker.put(
+                        self.writer_rank, data,
+                        step=self._step,
+                        timeout=self.retry.attempt_timeout,
+                    ),
+                    on_retry=lambda attempt, exc: self.broker.stats.faults.record_retry(),
+                    describe=f"SST put (writer {self.writer_rank}, step {self._step})",
+                )
+        finally:
+            self._staged.clear()
+            super().end_step()
 
     def close(self) -> None:
         if not self.closed:
@@ -204,7 +310,13 @@ class SSTWriterEngine(Engine):
 
 
 class SSTReaderEngine(Engine):
-    """One reader rank's end: drains an assigned set of writer ranks."""
+    """One reader rank's end: drains an assigned set of writer ranks.
+
+    A payload that fails its CRC check is counted and *skipped* — the
+    reader carries on with whatever the other writers delivered (an
+    all-corrupt step surfaces as OK with an empty payload set, which
+    the endpoint treats as a no-op).
+    """
 
     def __init__(self, name: str, broker: SSTBroker, writer_ranks: list[int]):
         super().__init__(name, "r")
@@ -212,6 +324,8 @@ class SSTReaderEngine(Engine):
         self.writer_ranks = list(writer_ranks)
         self._current: dict[int, StepPayload] = {}
         self._ended: set[int] = set()
+        self._read_step = 0
+        self.corrupt_steps = 0
 
     def begin_step(self) -> StepStatus:
         super().begin_step()
@@ -220,10 +334,18 @@ class SSTReaderEngine(Engine):
             if w in self._ended:
                 continue
             try:
-                self._current[w] = unmarshal_step(self.broker.get(w))
+                raw = self.broker.get(w, step=self._read_step)
             except EndOfStream:
                 self._ended.add(w)
-        if not self._current:
+                continue
+            try:
+                self._current[w] = unmarshal_step(raw)
+            except CorruptPayloadError:
+                self.corrupt_steps += 1
+                self.broker.stats.record_corrupt()
+                self.broker.stats.faults.try_resolve("corrupt_payload", "detected")
+        self._read_step += 1
+        if len(self._ended) == len(self.writer_ranks) and not self._current:
             self._in_step = False
             return StepStatus.END_OF_STREAM
         return StepStatus.OK

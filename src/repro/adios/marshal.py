@@ -6,6 +6,13 @@ attribute table.  The encoding is explicit and little-endian (magic,
 lengths, dtype tags) rather than pickle — matching how ADIOS BP
 serializes for transport, keeping payload sizes honest, and avoiding
 executing anything on the receive side.
+
+Version 2 payloads (``RBP2``) prepend a CRC32 of the body so
+in-flight corruption is *detected* on unmarshal — raised as
+:class:`~repro.faults.errors.CorruptPayloadError` — instead of
+silently feeding garbage arrays to the analysis side.  Version 1
+(``RBP1``, no checksum) payloads are still readable, so BP files
+written by older runs replay unchanged.
 """
 
 from __future__ import annotations
@@ -13,11 +20,15 @@ from __future__ import annotations
 import io
 import json
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
-_MAGIC = b"RBP1"
+from repro.faults.errors import CorruptPayloadError
+
+_MAGIC = b"RBP2"
+_MAGIC_V1 = b"RBP1"
 
 _DTYPE_TAGS = {
     np.dtype("<f8"): b"f8",
@@ -63,23 +74,37 @@ def _write_block(buf: io.BytesIO, name: str, arr: np.ndarray) -> None:
 
 
 def marshal_step(payload: StepPayload) -> bytes:
-    """Encode a StepPayload to transportable bytes."""
+    """Encode a StepPayload to transportable bytes (CRC32-protected)."""
     buf = io.BytesIO()
-    buf.write(_MAGIC)
     attrs = json.dumps(payload.attributes).encode()
     buf.write(struct.pack("<qdqI", payload.step, payload.time, payload.rank, len(attrs)))
     buf.write(attrs)
     buf.write(struct.pack("<I", len(payload.variables)))
     for name, arr in payload.variables.items():
         _write_block(buf, name, np.asarray(arr))
-    return buf.getvalue()
+    body = buf.getvalue()
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return _MAGIC + struct.pack("<I", crc) + body
 
 
 def unmarshal_step(data: bytes) -> StepPayload:
-    """Decode bytes produced by :func:`marshal_step`."""
-    if data[:4] != _MAGIC:
-        raise ValueError("not a BP step payload (bad magic)")
-    off = 4
+    """Decode bytes produced by :func:`marshal_step`.
+
+    Raises :class:`CorruptPayloadError` when the magic is unknown or
+    the body fails its CRC32 check (v2 payloads); v1 payloads carry no
+    checksum and decode as before.
+    """
+    if data[:4] == _MAGIC:
+        (stored,) = struct.unpack_from("<I", data, 4)
+        if zlib.crc32(data[8:]) & 0xFFFFFFFF != stored:
+            raise CorruptPayloadError(
+                "BP payload CRC32 mismatch (corrupt or trailing bytes)"
+            )
+        off = 8
+    elif data[:4] == _MAGIC_V1:
+        off = 4
+    else:
+        raise CorruptPayloadError("not a BP step payload (bad magic)")
     step, time, rank, attr_len = struct.unpack_from("<qdqI", data, off)
     off += struct.calcsize("<qdqI")
     attributes = json.loads(data[off : off + attr_len].decode())

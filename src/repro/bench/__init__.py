@@ -18,6 +18,8 @@ Experiment drivers (one per paper artifact):
 - :mod:`repro.bench.fig5` — RBC in transit weak scaling, time/step
 - :mod:`repro.bench.fig6` — RBC in transit memory per node
 - :mod:`repro.bench.ablations` — in situ frequency, SST queue, ratio
+- :mod:`repro.bench.robustness` — fault-injected in transit runs:
+  endpoint crash + payload corruption, FaultLog accounting
 
 Each driver has a ``run(...) -> Table`` and is executable as
 ``python -m repro.bench.figN``.

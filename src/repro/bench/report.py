@@ -14,7 +14,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.bench import ablations, fig2, fig3, fig5, fig6, storage
+from repro.bench import ablations, fig2, fig3, fig5, fig6, robustness, storage
 from repro.bench.replay import predict_insitu_run
 from repro.bench.workloads import PB146_GRIDPOINTS, pb146_profiles
 from repro.machine import POLARIS
@@ -61,6 +61,8 @@ def build_report(quick: bool = True) -> str:
                           ablations.insitu_frequency(measure_kwargs=pb_kwargs)))
     parts.append(_section("Ablation — SST queue policy", ablations.sst_queue()))
     parts.append(_section("Ablation — endpoint ratio", ablations.endpoint_ratio()))
+    parts.append(_section("Robustness — fault-tolerant in transit",
+                          robustness.fault_tolerance()))
     return "\n".join(parts)
 
 

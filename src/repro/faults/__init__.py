@@ -1,0 +1,44 @@
+"""Fault injection and fault tolerance for the in-transit pipeline.
+
+The paper's in-transit workflow couples the simulation to a separate
+SENSEI endpoint over SST; production viability hinges on surviving a
+slow or dead endpoint, a full staging queue, a corrupted payload, or
+a stalled rank *without* costing the solver its run.  This package
+supplies the three pieces the transport and runtime layers thread
+through:
+
+- :mod:`repro.faults.errors` — the typed failure taxonomy
+  (`TransportError` and friends) replacing bare builtins;
+- :mod:`repro.faults.injector` — `FaultInjector` (seeded,
+  interleaving-independent fault schedules) and `FaultLog` (the
+  injected/detected/recovered/degraded ledger the bench report
+  surfaces);
+- :mod:`repro.faults.retry` — `RetryPolicy`, bounded retry with
+  exponential backoff and deterministic jitter.
+
+See ``docs/fault_tolerance.md`` for the injection sites, knobs, and
+degradation modes.
+"""
+
+from repro.faults.errors import (
+    CorruptPayloadError,
+    EndpointDownError,
+    RankStallError,
+    StreamTimeout,
+    TransportError,
+)
+from repro.faults.injector import FAULT_KINDS, FaultEvent, FaultInjector, FaultLog
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "TransportError",
+    "StreamTimeout",
+    "EndpointDownError",
+    "CorruptPayloadError",
+    "RankStallError",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "RetryPolicy",
+]

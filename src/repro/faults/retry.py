@@ -1,0 +1,82 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+The seed's transport did single-shot blocking operations: one
+``queue`` timeout and the whole SPMD world deadlocked or died.  A
+:class:`RetryPolicy` turns those into bounded retry loops — per
+attempt timeout, exponential backoff, seeded jitter — and converts
+exhaustion into a typed :class:`~repro.faults.errors.EndpointDownError`
+that the degradation layer can catch.
+
+Jitter is derived from ``(seed, attempt)`` rather than global RNG
+state so a given policy produces the same backoff sequence every run
+(the same determinism contract as the injector).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.faults.errors import EndpointDownError, StreamTimeout
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for a bounded retry loop around a transport operation."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.02       # backoff before attempt 2 [s]
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.25           # +/- fraction of the backoff
+    attempt_timeout: float | None = None  # per-attempt blocking timeout [s]
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry number `attempt` (1-based, deterministic)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter:
+            rng = random.Random(f"{self.seed}|backoff|{attempt}")
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def call(
+        self,
+        fn,
+        retry_on: tuple[type[BaseException], ...] = (StreamTimeout,),
+        on_retry=None,
+        describe: str = "transport operation",
+    ):
+        """Run ``fn(attempt)`` until it succeeds or the budget is spent.
+
+        Exceptions in `retry_on` trigger backoff-and-retry (calling
+        ``on_retry(attempt, exc)`` before each sleep); anything else
+        propagates immediately.  Exhaustion raises
+        :class:`EndpointDownError` chained to the last failure.
+        """
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(attempt)
+            except retry_on as exc:
+                last = exc
+                if attempt == self.max_attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                time.sleep(self.backoff(attempt))
+        raise EndpointDownError(
+            f"{describe} failed after {self.max_attempts} attempts "
+            f"(last error: {last})"
+        ) from last

@@ -8,17 +8,30 @@ entire integration surface, as in the paper.
 
 A module-level functional facade (initialize / update / finalize)
 mirrors the C bridge's shape for readers following the paper listing.
+
+Fault tolerance: when the analysis side is an in-transit transport and
+it fails past the retry budget (:class:`TransportError`), the bridge
+*degrades* instead of crashing the solver — configurable via
+``fallback``: ``"raise"`` (seed behavior), ``"checkpoint"`` (write the
+raw state locally, the paper's file-staged degraded mode), or
+``"drop"`` (skip the analysis step).  The simulation keeps
+time-stepping either way — in situ must never cost the solver its run.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+from repro.faults.errors import TransportError
+from repro.faults.injector import FaultLog
 from repro.insitu.adaptor import NekDataAdaptor
 from repro.nekrs.solver import NekRSSolver, StepReport
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.configurable import ConfigurableAnalysis
+from repro.util.logging import get_logger
 from repro.util.timing import StopWatch
+
+_FALLBACKS = ("raise", "checkpoint", "drop")
 
 
 class Bridge:
@@ -30,9 +43,14 @@ class Bridge:
         output_dir: str | Path = ".",
         samples_per_element: int | None = None,
         extra_factories: dict | None = None,
+        fallback: str = "raise",
+        fallback_dir: str | Path | None = None,
+        fault_log: FaultLog | None = None,
     ):
         if (analysis is None) == (config_xml is None):
             raise ValueError("provide exactly one of analysis= or config_xml=")
+        if fallback not in _FALLBACKS:
+            raise ValueError(f"fallback must be one of {_FALLBACKS}, got {fallback!r}")
         self.solver = solver
         self.adaptor = NekDataAdaptor(solver, samples_per_element)
         if analysis is None:
@@ -43,18 +61,76 @@ class Bridge:
         self.watch = StopWatch()
         self.invocations = 0
         self.stop_requested = False
+        self.fallback = fallback
+        self.fallback_dir = Path(fallback_dir) if fallback_dir is not None else Path(
+            output_dir
+        ) / "fallback"
+        if fault_log is None:
+            fault_log = getattr(analysis, "fault_log", None) or FaultLog()
+        self.fault_log = fault_log
+        self.degraded_steps = 0
+        self.fallback_bytes = 0
+        self.transport_down = False
+        self._log = get_logger("repro.insitu.bridge", solver.comm)
 
     def update(self, step: int, time: float) -> bool:
         """Offer the current state to the analyses; False = stop."""
         self.adaptor.set_data_time_step(step)
         self.adaptor.set_data_time(time)
         with self.watch.phase("insitu"):
-            keep_going = self.analysis.execute(self.adaptor)
-            self.adaptor.release_data()
+            try:
+                keep_going = self.analysis.execute(self.adaptor)
+            except TransportError as exc:
+                keep_going = self._degrade(step, time, exc)
+            finally:
+                self.adaptor.release_data()
         self.invocations += 1
         if not keep_going:
             self.stop_requested = True
         return keep_going
+
+    def _degrade(self, step: int, time: float, exc: TransportError) -> bool:
+        """Handle a transport failure past the retry budget."""
+        if self.fallback == "raise":
+            raise exc
+        if not self.transport_down:
+            self.transport_down = True
+            self._log.warning(
+                "transport failed at step %d (%s: %s); degrading to %r",
+                step, type(exc).__name__, exc, self.fallback,
+            )
+            # stop peers from burning their retry budgets on a dead endpoint
+            mark_down = getattr(self.analysis, "mark_transport_down", None)
+            if mark_down is not None:
+                mark_down()
+        # the endpoint crash (if one was injected) resolves as "degraded"
+        # exactly once; later degraded steps are clamped to no-ops
+        self.fault_log.try_resolve("endpoint_crash", "degraded")
+        self.degraded_steps += 1
+        if self.fallback == "checkpoint":
+            self._write_fallback_checkpoint(step, time)
+        return True
+
+    def _write_fallback_checkpoint(self, step: int, time: float) -> None:
+        from repro.nekrs.checkpoint import write_checkpoint
+
+        solver = self.solver
+        fields = {
+            "pressure": solver.p,
+            "velocity_x": solver.u,
+            "velocity_y": solver.v,
+            "velocity_z": solver.w,
+        }
+        _, nbytes = write_checkpoint(
+            self.fallback_dir,
+            solver.case.name,
+            step,
+            time,
+            solver.comm.rank,
+            solver.comm.size,
+            fields,
+        )
+        self.fallback_bytes += nbytes
 
     def observer(self, solver: NekRSSolver, report: StepReport) -> None:
         """Adapter for ``NekRSSolver.run(observer=...)``."""
@@ -62,7 +138,12 @@ class Bridge:
 
     def finalize(self) -> None:
         with self.watch.phase("finalize"):
-            self.analysis.finalize()
+            try:
+                self.analysis.finalize()
+            except TransportError as exc:
+                if self.fallback == "raise":
+                    raise
+                self._log.warning("transport failed during finalize: %s", exc)
 
     @property
     def insitu_seconds(self) -> float:

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.adios.engine import SSTBroker, SSTReaderEngine, SSTWriterEngine, StepStatus
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
 from repro.insitu.adaptor import NekDataAdaptor
 from repro.insitu.bridge import Bridge
 from repro.insitu.streamed import StreamedDataAdaptor
@@ -79,6 +81,9 @@ class InTransitRunner:
         device_mode: str = "cuda-sim",
         image_size: int = 256,
         contour_isovalue: float = 0.0,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        fallback: str = "checkpoint",
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -99,6 +104,14 @@ class InTransitRunner:
         self.device_mode = device_mode
         self.image_size = image_size
         self.contour_isovalue = contour_isovalue
+        self.injector = injector
+        if retry is None and injector is not None:
+            # fault runs need the writer to discover a dead endpoint in
+            # test-scale time, not after the 120s default broker timeout
+            retry = RetryPolicy(max_attempts=3, base_delay=0.01, attempt_timeout=0.1)
+        self.retry = retry
+        self.fallback = fallback
+        self.last_broker: SSTBroker | None = None
 
     # -- layout -----------------------------------------------------------
     def split_counts(self, total_ranks: int) -> tuple[int, int]:
@@ -121,8 +134,10 @@ class InTransitRunner:
                     num_writers=num_sim,
                     queue_limit=self.queue_limit,
                     queue_full_policy=self.queue_full_policy,
+                    injector=self.injector,
                 )
             broker = comm.bcast(broker, root=0)
+            self.last_broker = broker
 
         sub = comm.split(0 if is_sim else 1)
         if is_sim:
@@ -142,12 +157,18 @@ class InTransitRunner:
         adios = None
         mesh_name = "uniform" if self.mode == "catalyst" else "mesh"
         if broker is not None:
-            engine = SSTWriterEngine("nekrs-sensei", broker, writer_rank=comm.rank)
+            engine = SSTWriterEngine(
+                "nekrs-sensei", broker, writer_rank=comm.rank, retry=self.retry
+            )
             adios = ADIOSAnalysisAdaptor(
                 comm, engine, mesh_name=mesh_name, arrays=self.arrays
             )
             bridge = Bridge(
-                solver, analysis=adios, samples_per_element=self.samples_per_element
+                solver,
+                analysis=adios,
+                samples_per_element=self.samples_per_element,
+                fallback=self.fallback,
+                fallback_dir=self.output_dir / "fallback",
             )
         else:
             # No Transport: SENSEI is still in the loop (empty config).
@@ -181,7 +202,12 @@ class InTransitRunner:
             stream_bytes=stream_bytes,
             memory_bytes=solver.memory_bytes() + staging + transport,
             staging_bytes=staging,
-            extra={"insitu_seconds": bridge.insitu_seconds},
+            extra={
+                "insitu_seconds": bridge.insitu_seconds,
+                "degraded_steps": bridge.degraded_steps,
+                "fallback_bytes": bridge.fallback_bytes,
+                "transport_down": bridge.transport_down,
+            },
         )
 
     # -- endpoint side ----------------------------------------------------------
@@ -237,19 +263,34 @@ class InTransitRunner:
         staging_peak = 0
         recv_bytes = 0
         steps = 0
+        crashed = False
         while True:
+            if self.injector is not None:
+                crash = self.injector.maybe(
+                    "endpoint_crash", "endpoint.loop", steps, key=comm.rank
+                )
+                if crash is not None:
+                    # simulate the endpoint dying: stop consuming without
+                    # draining or closing; writers discover via timeouts
+                    crashed = True
+                    break
             status = reader.begin_step()
             if status is StepStatus.END_OF_STREAM:
                 break
             payloads = reader.payloads()
-            adaptor.consume(payloads)
+            if not adaptor.consume(payloads):
+                # every payload of this stream step was dropped or
+                # corrupted — skip analysis, keep consuming
+                reader.end_step()
+                continue
             staging_peak = max(staging_peak, adaptor.staged_bytes)
             recv_bytes += adaptor.staged_bytes
             analysis.execute(adaptor)
             adaptor.release_data()
             reader.end_step()
             steps += 1
-        analysis.finalize()
+        if not crashed:
+            analysis.finalize()
 
         result.steps = steps
         result.wall_seconds = _time.perf_counter() - t0
@@ -257,6 +298,11 @@ class InTransitRunner:
         result.stream_bytes = recv_bytes
         result.staging_bytes = staging_peak
         result.memory_bytes = staging_peak
+        result.extra.update(
+            crashed=crashed,
+            empty_steps=adaptor.empty_steps,
+            corrupt_steps=reader.corrupt_steps,
+        )
         if isinstance(analysis, VTKPosthocIO):
             result.files_bytes = analysis.bytes_written
         elif isinstance(analysis, CatalystAnalysisAdaptor):

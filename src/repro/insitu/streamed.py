@@ -32,15 +32,25 @@ class StreamedDataAdaptor(DataAdaptor):
         self._arrays: tuple[str, ...] = ()
         self._extra: dict = {}
         self._num_blocks = 0
+        #: stream steps that arrived with no payloads (all writers'
+        #: payloads dropped or corrupted) and were skipped as no-ops
+        self.empty_steps = 0
         # geometry cache: block index -> ('grid', points, cells) or
         # ('image', origin, spacing, dims)
         self._geometry: dict[int, tuple] = {}
 
     # -- feeding -----------------------------------------------------------
-    def consume(self, payloads: dict[int, StepPayload]) -> None:
-        """Install the payloads of one stream step (writer -> payload)."""
+    def consume(self, payloads: dict[int, StepPayload]) -> bool:
+        """Install the payloads of one stream step (writer -> payload).
+
+        An empty payload dict is a degraded-but-survivable condition
+        mid-stream (every writer's step was dropped or corrupted): it
+        is counted and skipped — returns False so the endpoint loop
+        can bypass analysis for this step instead of crashing.
+        """
         if not payloads:
-            raise ValueError("no payloads to consume")
+            self.empty_steps += 1
+            return False
         self._payloads = payloads
         first = next(iter(payloads.values()))
         self._mesh_name = first.attributes.get("mesh_name", "mesh")
@@ -54,6 +64,7 @@ class StreamedDataAdaptor(DataAdaptor):
         for payload in payloads.values():
             if payload.attributes.get("has_geometry") == "1":
                 self._cache_geometry(payload)
+        return True
 
     def _cache_geometry(self, payload: StepPayload) -> None:
         block_ids = payload.variables["block_ids"].astype(int)
@@ -188,11 +199,11 @@ def replay_file_staged(
             raise ValueError(
                 "file-staged series is ragged: writers disagree on step count"
             )
-        adaptor.consume(payloads)
-        analysis.execute(adaptor)
-        adaptor.release_data()
+        if adaptor.consume(payloads):
+            analysis.execute(adaptor)
+            adaptor.release_data()
+            steps += 1
         for reader in readers:
             reader.end_step()
-        steps += 1
     analysis.finalize()
     return steps

@@ -9,6 +9,7 @@ so the machine model (``repro.machine``) can replay the recorded
 communication volume at leadership scale.
 """
 
+from repro.faults.errors import RankStallError
 from repro.parallel.comm import (
     Communicator,
     ReduceOp,
@@ -27,6 +28,7 @@ __all__ = [
     "ThreadCommunicator",
     "TrafficMeter",
     "TrafficEvent",
+    "RankStallError",
     "run_spmd",
     "block_partition",
     "block_range",

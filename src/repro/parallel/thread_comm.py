@@ -19,6 +19,7 @@ from __future__ import annotations
 import queue
 import threading
 
+from repro.faults.errors import RankStallError
 from repro.parallel.comm import (
     Communicator,
     TrafficMeter,
@@ -129,9 +130,11 @@ class ThreadCommunicator(Communicator):
         try:
             barrier.wait(timeout=self.timeout)
         except threading.BrokenBarrierError:
-            raise TimeoutError(
-                f"rank {self._rank} timed out at a collective "
-                "(another rank likely raised or deadlocked)"
+            raise RankStallError(
+                self._rank,
+                self.channel,
+                self.timeout,
+                detail="another rank likely raised, stalled, or deadlocked",
             ) from None
 
     def allgather(self, obj) -> list:

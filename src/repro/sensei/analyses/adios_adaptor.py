@@ -42,6 +42,19 @@ class ADIOSAnalysisAdaptor(AnalysisAdaptor):
         self.steps_sent = 0
         self.bytes_sent = 0
 
+    # -- fault-tolerance surface (used by the Bridge degradation layer) ----
+    @property
+    def fault_log(self):
+        """The transport's FaultLog, when the engine is broker-backed."""
+        broker = getattr(self.engine, "broker", None)
+        return broker.stats.faults if broker is not None else None
+
+    def mark_transport_down(self) -> None:
+        """Fail writers fast instead of retrying against a dead endpoint."""
+        broker = getattr(self.engine, "broker", None)
+        if broker is not None:
+            broker.mark_endpoint_down()
+
     @classmethod
     def from_xml_attributes(cls, comm: Communicator, attrs: dict):
         """XML path supports the file-staged engine only; SST engines
@@ -74,6 +87,12 @@ class ADIOSAnalysisAdaptor(AnalysisAdaptor):
         raise KeyError(f"no mesh named {self.mesh_name!r}")
 
     def execute(self, data: DataAdaptor) -> bool:
+        broker = getattr(self.engine, "broker", None)
+        if broker is not None and broker.endpoint_down.is_set():
+            # fail before staging a step the transport cannot deliver
+            from repro.faults.errors import EndpointDownError
+
+            raise EndpointDownError("SST endpoint marked down")
         meta = self._metadata_for(data)
         mesh = data.get_mesh(self.mesh_name)
         for name in self.arrays:

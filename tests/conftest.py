@@ -1,11 +1,41 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus a deadlock watchdog.
+
+The fault-tolerance work injects stalls and crashes into the threaded
+SPMD world; a regression there hangs rather than fails.  When
+``pytest-timeout`` is installed it owns the per-test timeout; when it
+is not (this container does not ship it), a ``faulthandler``-based
+watchdog aborts the run with full thread tracebacks once a single test
+exceeds its budget — failing fast instead of wedging tier-1.
+Override per test with ``@pytest.mark.timeout(seconds)``.
+"""
 
 from __future__ import annotations
+
+import faulthandler
 
 import numpy as np
 import pytest
 
 from repro.parallel import SerialCommunicator
+
+#: generous default so only genuine deadlocks trip it
+_DEFAULT_TEST_TIMEOUT = 300.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if item.config.pluginmanager.hasplugin("timeout"):
+        yield  # pytest-timeout is installed and handles the marker
+        return
+    marker = item.get_closest_marker("timeout")
+    seconds = _DEFAULT_TEST_TIMEOUT
+    if marker is not None and marker.args:
+        seconds = float(marker.args[0])
+    faulthandler.dump_traceback_later(seconds, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

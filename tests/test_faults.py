@@ -1,0 +1,497 @@
+"""Fault-injection and fault-tolerance tests (ISSUE 1).
+
+Covers: seeded injector determinism, retry/backoff semantics, CRC
+corruption detection and skipping, typed stall detection, graceful
+degradation to checkpoint fallback, the Discard queue-full race, and
+the 4-writer/1-endpoint in-transit run that survives a mid-run
+endpoint crash with full fault accounting.
+"""
+
+import queue
+import threading
+
+import numpy as np
+import pytest
+
+from repro.adios import (
+    SSTBroker,
+    SSTReaderEngine,
+    SSTWriterEngine,
+    StepPayload,
+    StepStatus,
+    marshal_step,
+    unmarshal_step,
+)
+from repro.faults import (
+    FAULT_KINDS,
+    CorruptPayloadError,
+    EndpointDownError,
+    FaultInjector,
+    FaultLog,
+    RankStallError,
+    RetryPolicy,
+    StreamTimeout,
+    TransportError,
+)
+
+pytestmark = pytest.mark.faults
+
+
+# -- injector ---------------------------------------------------------------
+
+
+class TestFaultInjectorDeterminism:
+    def _schedule(self, seed):
+        inj = FaultInjector(seed=seed, probabilities={"corrupt_payload": 0.4,
+                                                      "drop_step": 0.3})
+        return [
+            (kind, step, key)
+            for kind in ("corrupt_payload", "drop_step")
+            for step in range(60)
+            for key in range(4)
+            if inj.fires(kind, "site", step, key)
+        ]
+
+    def test_same_seed_same_schedule(self):
+        assert self._schedule(11) == self._schedule(11)
+
+    def test_fires_are_stateless(self):
+        # repeated queries for the same coordinates agree — the draw
+        # must not depend on call order (thread interleaving)
+        inj = FaultInjector(seed=5, probabilities={"drop_step": 0.5})
+        first = inj.fires("drop_step", "broker.put", 7, 2)
+        for _ in range(5):
+            inj.fires("drop_step", "broker.put", 1, 1)  # unrelated draws
+        assert inj.fires("drop_step", "broker.put", 7, 2) == first
+
+    def test_different_seed_different_schedule(self):
+        assert self._schedule(11) != self._schedule(12)
+
+    def test_schedule_fires_exactly_at_steps(self):
+        inj = FaultInjector(seed=0, schedule={"endpoint_crash": (3, 5)})
+        fired = [s for s in range(10) if inj.fires("endpoint_crash", "loop", s)]
+        assert fired == [3, 5]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(probabilities={"gremlins": 1.0})
+        with pytest.raises(ValueError):
+            FaultInjector().fires("gremlins", "site", 0)
+
+    def test_maybe_records_injection(self):
+        inj = FaultInjector(seed=0, schedule={"drop_step": (1,)})
+        assert inj.maybe("drop_step", "broker.put", 0) is None
+        event = inj.maybe("drop_step", "broker.put", 1)
+        assert event is not None and event.kind == "drop_step"
+        assert inj.log.injected["drop_step"] == 1
+
+    def test_corrupt_always_changes_bytes_deterministically(self):
+        inj = FaultInjector(seed=9, schedule={"corrupt_payload": (0,)})
+        event = inj.maybe("corrupt_payload", "broker.get", 0)
+        data = bytes(range(64))
+        out1 = inj.corrupt(data, event)
+        out2 = inj.corrupt(data, event)
+        assert out1 != data
+        assert out1 == out2
+
+
+class TestFaultLog:
+    def test_resolution_identity(self):
+        log = FaultLog()
+        inj = FaultInjector(seed=0, schedule={"drop_step": (0, 1, 2)}, log=log)
+        for s in range(3):
+            inj.maybe("drop_step", "broker.put", s)
+        assert not log.accounted
+        assert log.try_resolve("drop_step", "detected")
+        assert log.try_resolve("drop_step", "recovered")
+        assert log.try_resolve("drop_step", "degraded")
+        assert log.accounted
+        # clamped: no over-resolution once every fault has an outcome
+        assert not log.try_resolve("drop_step", "detected")
+        assert log.snapshot()["detected"]["drop_step"] == 1
+
+    def test_bad_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            FaultLog().try_resolve("drop_step", "vanished")
+
+
+# -- retry ------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_retry_then_succeed(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.001)
+        attempts = []
+
+        def op(attempt):
+            attempts.append(attempt)
+            if attempt < 3:
+                raise StreamTimeout("not yet")
+            return "done"
+
+        retried = []
+        assert policy.call(op, on_retry=lambda a, e: retried.append(a)) == "done"
+        assert attempts == [1, 2, 3]
+        assert retried == [1, 2]
+
+    def test_exhaustion_raises_endpoint_down(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001)
+
+        def op(attempt):
+            raise StreamTimeout("still dead")
+
+        with pytest.raises(EndpointDownError) as err:
+            policy.call(op)
+        assert isinstance(err.value.__cause__, StreamTimeout)
+
+    def test_non_retryable_passes_through(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.001)
+
+        def op(attempt):
+            raise EndpointDownError("terminal")
+
+        with pytest.raises(EndpointDownError):
+            policy.call(op)
+
+    def test_backoff_deterministic_and_capped(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3,
+                             jitter=0.25, seed=4)
+        delays = [policy.backoff(a) for a in range(1, 8)]
+        assert delays == [policy.backoff(a) for a in range(1, 8)]
+        assert all(d <= 0.3 * 1.25 for d in delays)
+        nojit = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0)
+        assert nojit.backoff(1) == pytest.approx(0.1)
+        assert nojit.backoff(5) == pytest.approx(0.3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+# -- CRC integrity ----------------------------------------------------------
+
+
+class TestPayloadIntegrity:
+    def _payload(self):
+        return StepPayload(3, 0.25, 1, {"u": np.arange(16.0)}, {"a": "b"})
+
+    def test_roundtrip_with_crc(self):
+        out = unmarshal_step(marshal_step(self._payload()))
+        np.testing.assert_array_equal(out.variables["u"], np.arange(16.0))
+
+    @pytest.mark.parametrize("pos", [5, 9, 30, -1])
+    def test_flipped_byte_detected(self, pos):
+        data = bytearray(marshal_step(self._payload()))
+        data[pos] ^= 0x40
+        with pytest.raises(CorruptPayloadError):
+            unmarshal_step(bytes(data))
+
+    def test_corrupt_error_is_transport_and_value_error(self):
+        assert issubclass(CorruptPayloadError, TransportError)
+        assert issubclass(CorruptPayloadError, ValueError)
+
+    def test_legacy_v1_payload_still_reads(self):
+        data = marshal_step(self._payload())
+        legacy = b"RBP1" + data[8:]  # v1: same body, no CRC header
+        assert unmarshal_step(legacy).step == 3
+
+
+# -- broker injection sites -------------------------------------------------
+
+
+class TestBrokerInjection:
+    def test_drop_step_is_detected_and_skipped(self):
+        inj = FaultInjector(seed=0, schedule={"drop_step": (1,)})
+        broker = SSTBroker(num_writers=1, queue_limit=4, injector=inj)
+        broker.put(0, b"step0", step=0)
+        broker.put(0, b"dropped", step=1)
+        broker.put(0, b"step2", step=2)
+        assert broker.get(0) == b"step0"
+        assert broker.get(0) == b"step2"
+        assert broker.stats.steps_discarded == 1
+        snap = broker.stats.faults.snapshot()
+        assert snap["injected"]["drop_step"] == 1
+        assert snap["detected"]["drop_step"] == 1
+
+    def test_stall_and_slow_consumer_resolve_recovered(self):
+        inj = FaultInjector(
+            seed=0,
+            schedule={"writer_stall": (0,), "slow_consumer": (0,)},
+            delays={"writer_stall": 0.0, "slow_consumer": 0.0},
+        )
+        broker = SSTBroker(num_writers=1, injector=inj)
+        broker.put(0, b"x", step=0)
+        broker.get(0, step=0)
+        assert broker.stats.faults.accounted
+        snap = broker.stats.faults.snapshot()
+        assert snap["recovered"] == {"writer_stall": 1, "slow_consumer": 1}
+
+    def test_corrupted_payload_skipped_by_reader(self):
+        inj = FaultInjector(seed=0, schedule={"corrupt_payload": (0,)})
+        broker = SSTBroker(num_writers=1, injector=inj)
+        writer = SSTWriterEngine("s", broker, 0)
+        reader = SSTReaderEngine("s", broker, [0])
+        for step in (0, 1):
+            writer.set_step_info(step, 0.0)
+            writer.begin_step()
+            writer.put("u", np.arange(4.0))
+            writer.end_step()
+        # read step 0 is corrupted in flight: OK status, empty payloads
+        assert reader.begin_step() is StepStatus.OK
+        assert reader.payloads() == {}
+        reader.end_step()
+        assert reader.corrupt_steps == 1
+        assert broker.stats.steps_corrupt == 1
+        assert broker.stats.faults.accounted
+        # read step 1 arrives intact
+        assert reader.begin_step() is StepStatus.OK
+        assert 0 in reader.payloads()
+
+    def test_writer_retry_exhaustion_raises_endpoint_down(self):
+        broker = SSTBroker(num_writers=1, queue_limit=1)
+        retry = RetryPolicy(max_attempts=3, base_delay=0.001, attempt_timeout=0.01)
+        writer = SSTWriterEngine("s", broker, 0, retry=retry)
+        writer.begin_step()
+        writer.put("u", np.zeros(2))
+        writer.end_step()  # fills the queue; nobody reads
+        writer.begin_step()
+        writer.put("u", np.zeros(2))
+        with pytest.raises(EndpointDownError):
+            writer.end_step()
+        assert broker.stats.faults.retries == 2
+        # step state was reset despite the failure: the writer survives
+        assert writer.begin_step() is StepStatus.OK
+
+    def test_marked_down_broker_fails_fast(self):
+        broker = SSTBroker(num_writers=1)
+        broker.mark_endpoint_down()
+        with pytest.raises(EndpointDownError):
+            broker.put(0, b"x")
+        writer = SSTWriterEngine("s", broker, 0)
+        with pytest.raises(EndpointDownError):
+            writer.begin_step()
+        writer.close()  # sentinel skipped; must not block or raise
+
+    def test_stream_timeout_is_typed(self):
+        broker = SSTBroker(num_writers=1, queue_limit=1, timeout=0.01)
+        broker.put(0, b"x")
+        with pytest.raises(StreamTimeout):
+            broker.put(0, b"y")
+        assert issubclass(StreamTimeout, TimeoutError)  # seed compatibility
+
+
+class TestDiscardRace:
+    def test_discard_loops_until_put_succeeds(self):
+        """Hammer a Discard broker with a concurrent reader: the seed's
+        drop-oldest-then-put sequence could observe Full twice; the fix
+        loops until the put lands and never leaks queue.Full."""
+        broker = SSTBroker(num_writers=1, queue_limit=1,
+                           queue_full_policy="Discard")
+        n = 400
+        errors = []
+        drained = []
+
+        def reader():
+            for _ in range(10 * n):
+                try:
+                    drained.append(broker.queues[0].get_nowait())
+                except queue.Empty:
+                    pass
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        for i in range(n):
+            try:
+                broker.put(0, b"%d" % i)
+            except Exception as exc:  # noqa: BLE001 - the regression under test
+                errors.append(exc)
+        t.join()
+        assert errors == []
+        assert broker.stats.steps_put == n
+        # every step is accounted: delivered, discarded, or still staged
+        left = broker.queues[0].qsize()
+        assert len(drained) + broker.stats.steps_discarded + left == n
+
+
+# -- typed stall detection --------------------------------------------------
+
+
+class TestRankStall:
+    def test_barrier_timeout_raises_rank_stall(self):
+        from repro.parallel import ThreadCommunicator
+
+        comms = ThreadCommunicator.create_group(2)
+        comms[0].timeout = 0.05
+        with pytest.raises(RankStallError) as err:
+            comms[0].barrier()  # rank 1 never arrives
+        assert err.value.rank == 0
+        assert err.value.channel == "default"
+        assert "stalled" in str(err.value)
+        assert isinstance(err.value, TimeoutError)  # SPMD driver contract
+
+
+# -- graceful degradation ---------------------------------------------------
+
+
+def _sst_bridge(tiny_solver, tmp_path, fallback):
+    """A bridge streaming into a broker nobody reads (dead endpoint)."""
+    from repro.insitu.bridge import Bridge
+    from repro.sensei.analyses.adios_adaptor import ADIOSAnalysisAdaptor
+
+    broker = SSTBroker(num_writers=1, queue_limit=1)
+    retry = RetryPolicy(max_attempts=2, base_delay=0.001, attempt_timeout=0.01)
+    engine = SSTWriterEngine("s", broker, 0, retry=retry)
+    adios = ADIOSAnalysisAdaptor(
+        tiny_solver.comm, engine, mesh_name="mesh", arrays=("pressure",)
+    )
+    bridge = Bridge(
+        tiny_solver,
+        analysis=adios,
+        fallback=fallback,
+        fallback_dir=tmp_path / "fallback",
+    )
+    return bridge, broker
+
+
+class TestGracefulDegradation:
+    def test_degrades_to_checkpoint_and_keeps_stepping(self, tiny_solver, tmp_path):
+        bridge, broker = _sst_bridge(tiny_solver, tmp_path, "checkpoint")
+        for _ in range(3):
+            report = tiny_solver.step()
+            assert bridge.update(report.step, report.time) is True
+        bridge.finalize()
+        # step 1 fit the queue; steps 2 and 3 degraded to local .fld dumps
+        assert bridge.degraded_steps == 2
+        assert bridge.transport_down
+        assert bridge.fallback_bytes > 0
+        dumps = list((tmp_path / "fallback").iterdir())
+        assert len(dumps) == 2
+        # degradation marked the endpoint down so peers fail fast
+        assert broker.endpoint_down.is_set()
+
+    def test_drop_fallback_skips_without_files(self, tiny_solver, tmp_path):
+        bridge, _ = _sst_bridge(tiny_solver, tmp_path, "drop")
+        for _ in range(3):
+            report = tiny_solver.step()
+            assert bridge.update(report.step, report.time) is True
+        bridge.finalize()
+        assert bridge.degraded_steps == 2
+        assert bridge.fallback_bytes == 0
+        assert not (tmp_path / "fallback").exists()
+
+    def test_raise_fallback_preserves_seed_behavior(self, tiny_solver, tmp_path):
+        bridge, _ = _sst_bridge(tiny_solver, tmp_path, "raise")
+        report = tiny_solver.step()
+        assert bridge.update(report.step, report.time) is True
+        report = tiny_solver.step()
+        with pytest.raises(EndpointDownError):
+            bridge.update(report.step, report.time)
+
+    def test_invalid_fallback_rejected(self, tiny_solver):
+        from repro.insitu.bridge import Bridge
+
+        with pytest.raises(ValueError):
+            Bridge(tiny_solver, config_xml="<sensei></sensei>", fallback="pray")
+
+
+# -- the acceptance scenario ------------------------------------------------
+
+
+@pytest.mark.timeout(120)
+class TestFaultedInTransitRun:
+    def test_endpoint_crash_run_completes_with_full_accounting(self, tmp_path):
+        """4 writers : 1 endpoint, endpoint crash mid-run + in-flight
+        corruption: every sim rank completes every timestep, writers
+        degrade to checkpoint fallback, and the FaultLog accounts for
+        every injected fault."""
+        from repro.bench.robustness import run_faulted_intransit
+
+        out = run_faulted_intransit(
+            total_ranks=5,
+            steps=8,
+            crash_step=3,
+            corrupt_probability=0.25,  # high enough to observe detections
+            seed=7,
+            output_dir=tmp_path,
+        )
+        sims = [r for r in out["results"] if r.role == "simulation"]
+        ends = [r for r in out["results"] if r.role == "endpoint"]
+        assert len(sims) == 4 and len(ends) == 1
+
+        # the run is never lost: all timesteps complete on every writer
+        assert all(r.steps == 8 for r in sims)
+        # the endpoint did crash mid-run
+        assert ends[0].extra["crashed"]
+        assert ends[0].steps < 8
+
+        # degradation kicked in past the retry budget
+        log = out["faults"]
+        snap = log.snapshot()
+        assert snap["injected"]["endpoint_crash"] == 1
+        assert snap["degraded"]["endpoint_crash"] == 1
+        assert snap["retries"] > 0
+        assert sum(r.extra["degraded_steps"] for r in sims) > 0
+        fallback_dumps = list((tmp_path / "fallback").iterdir())
+        assert len(fallback_dumps) == sum(r.extra["degraded_steps"] for r in sims)
+
+        # corruption was detected and skipped, never propagated
+        assert snap["injected"].get("corrupt_payload", 0) > 0
+        assert snap["detected"].get("corrupt_payload", 0) == snap["injected"][
+            "corrupt_payload"
+        ]
+
+        # the accounting identity: injected == detected + recovered + degraded
+        assert log.accounted
+
+    def test_same_seed_reproduces_fault_counts(self, tmp_path):
+        from repro.bench.robustness import run_faulted_intransit
+
+        a = run_faulted_intransit(steps=5, crash_step=2, seed=13,
+                                  corrupt_probability=0.3,
+                                  output_dir=tmp_path / "a")
+        b = run_faulted_intransit(steps=5, crash_step=2, seed=13,
+                                  corrupt_probability=0.3,
+                                  output_dir=tmp_path / "b")
+        assert a["faults"].snapshot()["injected"] == b["faults"].snapshot()["injected"]
+
+
+class TestRobustnessBenchTable:
+    def test_table_reports_accounting(self, tmp_path):
+        from repro.bench.robustness import fault_tolerance
+
+        table = fault_tolerance(steps=6, crash_step=2, seed=7,
+                                output_dir=tmp_path)
+        text = table.render()
+        assert "endpoint_crash" in text
+        assert "UNACCOUNTED" not in text
+        rows = {r[0]: r[1:] for r in table.rows}
+        injected, detected, recovered, degraded = rows["TOTAL"]
+        assert injected == detected + recovered + degraded
+
+
+# -- endpoint empty-step handling -------------------------------------------
+
+
+class TestEmptyStreamStep:
+    def test_all_corrupt_step_skipped_by_endpoint_loop(self):
+        """An all-corrupt stream step reaches the adaptor as an empty
+        payload dict: consume() skips it instead of crashing."""
+        from repro.insitu.streamed import StreamedDataAdaptor
+        from repro.parallel import SerialCommunicator
+
+        inj = FaultInjector(seed=0, schedule={"corrupt_payload": (0,)})
+        broker = SSTBroker(num_writers=2, injector=inj)
+        writers = [SSTWriterEngine("s", broker, w) for w in range(2)]
+        reader = SSTReaderEngine("s", broker, [0, 1])
+        for w, eng in enumerate(writers):
+            eng.set_step_info(0, 0.0)
+            eng.begin_step()
+            eng.put("u", np.arange(3.0))
+            eng.end_step()
+        assert reader.begin_step() is StepStatus.OK
+        adaptor = StreamedDataAdaptor(SerialCommunicator())
+        assert adaptor.consume(reader.payloads()) is False
+        assert adaptor.empty_steps == 1
+        assert reader.corrupt_steps == 2

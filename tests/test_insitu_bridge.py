@@ -174,6 +174,10 @@ class TestStreamedDataAdaptor:
         with pytest.raises(KeyError):
             endpoint.get_mesh("uniform")
 
-    def test_consume_empty_raises(self):
-        with pytest.raises(ValueError):
-            StreamedDataAdaptor(SerialCommunicator()).consume({})
+    def test_consume_empty_is_noop(self):
+        # an empty stream step (all payloads dropped/corrupt) must not
+        # crash the endpoint loop: skipped and counted instead
+        adaptor = StreamedDataAdaptor(SerialCommunicator())
+        assert adaptor.consume({}) is False
+        assert adaptor.empty_steps == 1
+        assert adaptor.get_number_of_meshes() == 0
