@@ -29,6 +29,7 @@ from repro.faults.errors import (
 )
 from repro.faults.injector import FaultInjector, FaultLog
 from repro.faults.retry import RetryPolicy
+from repro.observe.session import get_telemetry
 
 
 class EndOfStream(Exception):
@@ -51,22 +52,44 @@ class StreamStats:
     steps_corrupt: int = 0
     bytes_put: int = 0
     bytes_got: int = 0
+    staged_bytes: int = 0
+    staged_bytes_peak: int = 0
     faults: FaultLog = field(default_factory=FaultLog)
+    _staged_by_writer: dict = field(default_factory=dict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def record_put(self, nbytes: int) -> None:
+    def record_put(self, nbytes: int, writer: int = 0) -> int:
+        """Account a staged step; returns the writer queue's new level."""
         with self._lock:
             self.steps_put += 1
             self.bytes_put += nbytes
+            self.staged_bytes += nbytes
+            if self.staged_bytes > self.staged_bytes_peak:
+                self.staged_bytes_peak = self.staged_bytes
+            level = self._staged_by_writer.get(writer, 0) + nbytes
+            self._staged_by_writer[writer] = level
+            return level
 
-    def record_get(self, nbytes: int) -> None:
+    def record_get(self, nbytes: int, writer: int = 0) -> None:
         with self._lock:
             self.steps_got += 1
             self.bytes_got += nbytes
+            self._drain(writer, nbytes)
 
-    def record_discard(self) -> None:
+    def record_discard(self, nbytes: int = 0, writer: int = 0) -> None:
         with self._lock:
             self.steps_discarded += 1
+            self._drain(writer, nbytes)
+
+    def _drain(self, writer: int, nbytes: int) -> None:
+        self.staged_bytes = max(0, self.staged_bytes - nbytes)
+        self._staged_by_writer[writer] = max(
+            0, self._staged_by_writer.get(writer, 0) - nbytes
+        )
+
+    def staged_level(self, writer: int) -> int:
+        with self._lock:
+            return self._staged_by_writer.get(writer, 0)
 
     def record_corrupt(self) -> None:
         with self._lock:
@@ -124,6 +147,11 @@ class SSTBroker:
         step: int = -1,
         timeout: float | None = None,
     ) -> None:
+        tel = get_telemetry()
+        with tel.tracer.span("sst.put", step=step, writer=writer_rank):
+            self._put(writer_rank, payload_bytes, step, timeout, tel)
+
+    def _put(self, writer_rank, payload_bytes, step, timeout, tel) -> None:
         if self.endpoint_down.is_set():
             raise EndpointDownError(
                 f"SST writer {writer_rank}: endpoint marked down"
@@ -132,11 +160,13 @@ class SSTBroker:
         if inj is not None:
             stall = inj.maybe("writer_stall", "broker.put", step, key=writer_rank)
             if stall is not None:
+                tel.tracer.instant("fault.writer_stall", step=step, writer=writer_rank)
                 inj.sleep(stall)
                 self.stats.faults.try_resolve("writer_stall", "recovered")
             drop = inj.maybe("drop_step", "broker.put", step, key=writer_rank)
             if drop is not None:
-                self.stats.record_discard()
+                tel.tracer.instant("fault.drop_step", step=step, writer=writer_rank)
+                self.stats.record_discard(writer=writer_rank)
                 self.stats.faults.try_resolve("drop_step", "detected")
                 return
         q = self.queues[writer_rank]
@@ -160,12 +190,21 @@ class SSTBroker:
                     break
                 except queue.Full:
                     try:
-                        q.get_nowait()
+                        dropped = q.get_nowait()
                     except queue.Empty:
                         pass  # reader drained it concurrently; retry the put
                     else:
-                        self.stats.record_discard()
-        self.stats.record_put(len(payload_bytes))
+                        nbytes = len(dropped) if isinstance(dropped, (bytes, bytearray)) else 0
+                        self.stats.record_discard(nbytes, writer=writer_rank)
+        level = self.stats.record_put(len(payload_bytes), writer=writer_rank)
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_sst_steps_put_total", "Steps staged into the SST broker"
+            ).inc()
+            tel.metrics.counter(
+                "repro_sst_bytes_put_total", "Bytes staged into the SST broker"
+            ).inc(len(payload_bytes))
+            tel.memory.observe("sst.queue", level)
 
     def close_writer(self, writer_rank: int) -> None:
         if self.endpoint_down.is_set():
@@ -179,10 +218,16 @@ class SSTBroker:
             ) from None
 
     def get(self, writer_rank: int, step: int = -1, timeout: float | None = None) -> bytes:
+        tel = get_telemetry()
+        with tel.tracer.span("sst.get", step=step, writer=writer_rank):
+            return self._get(writer_rank, step, timeout, tel)
+
+    def _get(self, writer_rank, step, timeout, tel) -> bytes:
         inj = self.injector
         if inj is not None:
             slow = inj.maybe("slow_consumer", "broker.get", step, key=writer_rank)
             if slow is not None:
+                tel.tracer.instant("fault.slow_consumer", step=step, writer=writer_rank)
                 inj.sleep(slow)
                 self.stats.faults.try_resolve("slow_consumer", "recovered")
         try:
@@ -198,8 +243,16 @@ class SSTBroker:
         if inj is not None:
             corrupt = inj.maybe("corrupt_payload", "broker.get", step, key=writer_rank)
             if corrupt is not None:
+                tel.tracer.instant("fault.corrupt_payload", step=step, writer=writer_rank)
                 item = inj.corrupt(item, corrupt)
-        self.stats.record_get(len(item))
+        self.stats.record_get(len(item), writer=writer_rank)
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_sst_steps_got_total", "Steps drained from the SST broker"
+            ).inc()
+            tel.metrics.counter(
+                "repro_sst_bytes_got_total", "Bytes drained from the SST broker"
+            ).inc(len(item))
         return item
 
 
@@ -296,12 +349,24 @@ class SSTWriterEngine(Engine):
                         step=self._step,
                         timeout=self.retry.attempt_timeout,
                     ),
-                    on_retry=lambda attempt, exc: self.broker.stats.faults.record_retry(),
+                    on_retry=self._on_retry,
                     describe=f"SST put (writer {self.writer_rank}, step {self._step})",
                 )
         finally:
             self._staged.clear()
             super().end_step()
+
+    def _on_retry(self, attempt: int, exc: Exception) -> None:
+        self.broker.stats.faults.record_retry()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.tracer.instant(
+                "sst.retry", attempt=attempt, writer=self.writer_rank,
+                error=type(exc).__name__,
+            )
+            tel.metrics.counter(
+                "repro_sst_retries_total", "SST put attempts retried after a timeout"
+            ).inc()
 
     def close(self) -> None:
         if not self.closed:

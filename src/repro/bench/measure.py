@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import tempfile
 import time as _time
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +28,7 @@ from repro.insitu.intransit import InTransitRunner
 from repro.nekrs.checkpoint import write_checkpoint
 from repro.nekrs.config import CaseDefinition
 from repro.nekrs.solver import NekRSSolver
+from repro.observe.session import TelemetrySession
 from repro.occa import Device
 from repro.parallel import run_spmd
 
@@ -45,6 +47,27 @@ def _catalyst_xml(interval: int, isovalue: float, array: str, color: str, size: 
 
 
 def _rank_body(
+    comm,
+    case: CaseDefinition,
+    mode: str,
+    steps: int,
+    interval: int,
+    outdir: str,
+    isovalue: float,
+    array: str,
+    color_array: str,
+    image_size: int,
+    session: TelemetrySession | None = None,
+):
+    scope = session.activate(comm.rank) if session is not None else nullcontext()
+    with scope:
+        return _instrumented_rank_body(
+            comm, case, mode, steps, interval, outdir,
+            isovalue, array, color_array, image_size,
+        )
+
+
+def _instrumented_rank_body(
     comm,
     case: CaseDefinition,
     mode: str,
@@ -142,8 +165,13 @@ def measure_insitu_profile(
     array: str = "velocity_magnitude",
     color_array: str = "temperature",
     image_size: int = 256,
+    session: TelemetrySession | None = None,
 ) -> RunProfile:
-    """Run one instrumented configuration; aggregate to a RunProfile."""
+    """Run one instrumented configuration; aggregate to a RunProfile.
+
+    Pass a :class:`TelemetrySession` to additionally collect per-rank
+    spans, metrics, and memory high-water marks for the run.
+    """
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
     if steps % interval:
@@ -152,7 +180,8 @@ def measure_insitu_profile(
     results = run_spmd(
         ranks,
         _rank_body,
-        args=(case, mode, steps, interval, outdir, isovalue, array, color_array, image_size),
+        args=(case, mode, steps, interval, outdir, isovalue, array, color_array,
+              image_size, session),
     )
     n = len(results)
     dumps = max(results[0]["dumps"], 1)

@@ -1,0 +1,115 @@
+"""Telemetry summary: traced measurement runs per in situ mode.
+
+Runs the scaled-down pb146 analog once per Section 4.1 mode with a
+:class:`repro.observe.TelemetrySession` attached and tabulates what the
+trace says: per-phase wall time (solver pipeline, in situ bridge,
+checkpoint IO) and per-rank memory high-water marks per category.  The
+same numbers the RunProfile instrumentation reports, but derived from
+the unified telemetry layer — the two must agree (the integration test
+pins them to within 1%).
+
+Run as ``python -m repro.bench.telemetry``; the full bench report
+(:mod:`repro.bench.report`) embeds this as its Telemetry section, and
+``python -m repro trace`` exports the raw trace/metrics files.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.measure import measure_insitu_profile
+from repro.bench.workloads import measurement_pebble_case
+from repro.observe import TelemetrySession
+from repro.observe.tracer import SpanEvent
+from repro.util.sizes import MIB
+from repro.util.tables import Table
+
+MODES = ("original", "checkpoint", "catalyst")
+
+_trace_cache: dict = {}
+
+
+def span_seconds(events, name: str) -> float:
+    """Total seconds spent in spans named `name`, across all ranks."""
+    return sum(
+        e.dur for e in events if isinstance(e, SpanEvent) and e.name == name
+    )
+
+
+def traced_profiles(measure_kwargs: dict | None = None) -> dict:
+    """Measure each mode with a telemetry session attached (cached).
+
+    Returns ``{mode: (RunProfile, TelemetrySession)}``.
+    """
+    kwargs = dict(measure_kwargs or {})
+    num_pebbles = kwargs.pop("num_pebbles", 3)
+    order = kwargs.pop("order", 3)
+    kwargs.setdefault("ranks", 2)
+    kwargs.setdefault("steps", 4)
+    kwargs.setdefault("interval", 2)
+    kwargs.setdefault("image_size", 192)
+    key = (num_pebbles, order, tuple(sorted(kwargs.items())))
+    if key not in _trace_cache:
+        case = measurement_pebble_case(
+            num_pebbles, order=order, num_steps=kwargs["steps"]
+        )
+        out = {}
+        for mode in MODES:
+            session = TelemetrySession(label=f"pb146-{mode}")
+            out[mode] = (
+                measure_insitu_profile(case, mode, session=session, **kwargs),
+                session,
+            )
+        _trace_cache[key] = out
+    return _trace_cache[key]
+
+
+def run(measure_kwargs: dict | None = None) -> Table:
+    """Telemetry summary table: per-phase time and memory HWM per mode."""
+    table = Table(
+        [
+            "mode",
+            "solver [s]",
+            "insitu [s]",
+            "render [s]",
+            "checkpoint [s]",
+            "solver HWM [MiB]",
+            "staging HWM [MiB]",
+            "total HWM [MiB]",
+        ],
+        title="Telemetry — traced pb146 runs (times summed across ranks, "
+              "memory = sum of per-rank category peaks)",
+    )
+    for mode, (_, session) in traced_profiles(measure_kwargs).items():
+        events = session.events()
+        agg = session.memory_aggregate()
+        table.add_row(
+            [
+                mode,
+                span_seconds(events, "solver.step"),
+                span_seconds(events, "bridge.execute"),
+                span_seconds(events, "catalyst.render"),
+                span_seconds(events, "checkpoint.write"),
+                agg.get("solver", 0) / MIB,
+                agg.get("sensei.staging", 0) / MIB,
+                sum(agg.values()) / MIB,
+            ]
+        )
+    return table
+
+
+def flame(measure_kwargs: dict | None = None, mode: str = "catalyst") -> str:
+    """Flame summary of one traced mode (default: catalyst)."""
+    _, session = traced_profiles(measure_kwargs)[mode]
+    return session.flame_summary()
+
+
+def clear_cache() -> None:
+    _trace_cache.clear()
+
+
+if __name__ == "__main__":
+    print(run().render())
+    print()
+    print(flame())
+    sys.exit(0)

@@ -23,7 +23,8 @@ from pathlib import Path
 from repro.util.sizes import format_bytes
 
 _CASES = ("cavity", "pebble", "rbc")
-_FIGURES = ("fig2", "fig3", "fig5", "fig6", "storage", "ablations", "report")
+_FIGURES = ("fig2", "fig3", "fig5", "fig6", "storage", "ablations", "telemetry",
+            "report")
 
 
 def _build_case(name: str, steps: int | None, order: int | None, par: str | None):
@@ -167,6 +168,62 @@ def cmd_render(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.bench.measure import measure_insitu_profile, measure_intransit_profiles
+    from repro.bench.workloads import weak_scaled_rbc_case
+    from repro.observe import TelemetrySession
+
+    case = _build_case(args.case, args.steps, args.order, None)
+    steps = args.steps or min(case.num_steps, 4)
+    session = TelemetrySession(label=f"{args.case}-{args.mode}")
+    outdir = Path(args.output)
+
+    if args.intransit:
+        def case_builder(nsim):
+            return weak_scaled_rbc_case(
+                nsim, elements_per_rank=4, order=3, num_steps=steps
+            )
+
+        mode = "none" if args.mode == "original" else args.mode
+        measure_intransit_profiles(
+            case_builder,
+            mode,
+            total_ranks=args.ranks,
+            steps=steps,
+            stream_interval=args.interval,
+            ratio=2,
+            output_dir=outdir / "artifacts",
+            session=session,
+        )
+    else:
+        measure_insitu_profile(
+            case,
+            args.mode,
+            ranks=args.ranks,
+            steps=steps - steps % args.interval or args.interval,
+            interval=args.interval,
+            output_dir=outdir / "artifacts",
+            color_array="pressure" if args.case == "cavity" else "temperature",
+            session=session,
+        )
+
+    trace_path = session.write_chrome_trace(outdir / "trace.json")
+    prom_path = session.write_prometheus(outdir / "metrics.prom")
+    json_path = session.write_json(outdir / "telemetry.json")
+    print(session.flame_summary())
+    print()
+    mem = session.memory_aggregate()
+    if mem:
+        print("memory high-water marks (summed over ranks):")
+        for category in sorted(mem):
+            print(f"  {category:<22} {format_bytes(mem[category])}")
+        print()
+    for path in (trace_path, prom_path, json_path):
+        print(f"wrote {path}")
+    print("open trace.json in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import importlib
 
@@ -229,6 +286,22 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--size", type=int, default=512)
     render.add_argument("--output", default="render_output")
     render.set_defaults(fn=cmd_render)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced workload; export Chrome trace + Prometheus metrics",
+    )
+    trace.add_argument("--case", choices=_CASES, default="pebble")
+    trace.add_argument("--mode", choices=("original", "checkpoint", "catalyst"),
+                       default="catalyst")
+    trace.add_argument("--ranks", type=int, default=2)
+    trace.add_argument("--steps", type=int, default=4)
+    trace.add_argument("--order", type=int, default=3)
+    trace.add_argument("--interval", type=int, default=2)
+    trace.add_argument("--intransit", action="store_true",
+                       help="trace the in transit (SST) topology instead")
+    trace.add_argument("--output", default="trace_output")
+    trace.set_defaults(fn=cmd_trace)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure/table")
     bench.add_argument("figure", choices=_FIGURES)

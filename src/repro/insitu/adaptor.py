@@ -249,13 +249,19 @@ class NekDataAdaptor(DataAdaptor):
         raise KeyError(f"unknown mesh {mesh_name!r}")
 
     def release_data(self) -> None:
+        from repro.observe.session import get_telemetry
+
         self._host_cache.clear()
         self._resample_cache.clear()
         self.staging_bytes_current = 0
+        get_telemetry().memory.observe("sensei.staging", 0)
 
     # -- accounting ----------------------------------------------------------
     def _charge_staging(self, nbytes: int) -> None:
+        from repro.observe.session import get_telemetry
+
         self.staging_bytes_current += nbytes
         self.staging_bytes_peak = max(
             self.staging_bytes_peak, self.staging_bytes_current
         )
+        get_telemetry().memory.observe("sensei.staging", self.staging_bytes_current)

@@ -26,6 +26,7 @@ from repro.faults.errors import TransportError
 from repro.faults.injector import FaultLog
 from repro.insitu.adaptor import NekDataAdaptor
 from repro.nekrs.solver import NekRSSolver, StepReport
+from repro.observe.session import get_telemetry
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.configurable import ConfigurableAnalysis
 from repro.util.logging import get_logger
@@ -77,7 +78,8 @@ class Bridge:
         """Offer the current state to the analyses; False = stop."""
         self.adaptor.set_data_time_step(step)
         self.adaptor.set_data_time(time)
-        with self.watch.phase("insitu"):
+        tel = get_telemetry()
+        with self.watch.phase("insitu"), tel.tracer.span("bridge.execute", step=step):
             try:
                 keep_going = self.analysis.execute(self.adaptor)
             except TransportError as exc:
@@ -85,6 +87,10 @@ class Bridge:
             finally:
                 self.adaptor.release_data()
         self.invocations += 1
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_bridge_invocations_total", "Bridge analysis invocations"
+            ).inc()
         if not keep_going:
             self.stop_requested = True
         return keep_going
@@ -107,6 +113,16 @@ class Bridge:
         # exactly once; later degraded steps are clamped to no-ops
         self.fault_log.try_resolve("endpoint_crash", "degraded")
         self.degraded_steps += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.tracer.instant(
+                "bridge.degraded", step=step, fallback=self.fallback,
+                error=type(exc).__name__,
+            )
+            tel.metrics.counter(
+                "repro_bridge_degraded_steps_total",
+                "Steps served by the degraded fallback path",
+            ).inc()
         if self.fallback == "checkpoint":
             self._write_fallback_checkpoint(step, time)
         return True

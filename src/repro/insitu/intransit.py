@@ -18,6 +18,7 @@ simulation side stages at most ``queue_limit`` marshaled steps.
 from __future__ import annotations
 
 import time as _time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -29,6 +30,7 @@ from repro.insitu.bridge import Bridge
 from repro.insitu.streamed import StreamedDataAdaptor
 from repro.nekrs.config import CaseDefinition
 from repro.nekrs.solver import NekRSSolver
+from repro.observe.session import TelemetrySession, get_telemetry
 from repro.occa import Device
 from repro.parallel.comm import Communicator
 from repro.parallel.partition import block_range
@@ -84,6 +86,7 @@ class InTransitRunner:
         injector: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         fallback: str = "checkpoint",
+        session: TelemetrySession | None = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -111,6 +114,7 @@ class InTransitRunner:
             retry = RetryPolicy(max_attempts=3, base_delay=0.01, attempt_timeout=0.1)
         self.retry = retry
         self.fallback = fallback
+        self.session = session
         self.last_broker: SSTBroker | None = None
 
     # -- layout -----------------------------------------------------------
@@ -140,9 +144,16 @@ class InTransitRunner:
             self.last_broker = broker
 
         sub = comm.split(0 if is_sim else 1)
-        if is_sim:
-            return self._run_simulation(sub, broker, num_sim)
-        return self._run_endpoint(sub, broker, num_sim, num_end)
+        # telemetry tracks stay keyed by the *global* rank, so one
+        # merged trace shows simulation and endpoint groups side by side
+        scope = (
+            self.session.activate(comm.rank) if self.session is not None
+            else nullcontext()
+        )
+        with scope:
+            if is_sim:
+                return self._run_simulation(sub, broker, num_sim)
+            return self._run_endpoint(sub, broker, num_sim, num_end)
 
     # -- simulation side ---------------------------------------------------
     def _run_simulation(
@@ -272,6 +283,9 @@ class InTransitRunner:
                 if crash is not None:
                     # simulate the endpoint dying: stop consuming without
                     # draining or closing; writers discover via timeouts
+                    get_telemetry().tracer.instant(
+                        "fault.endpoint_crash", step=steps, endpoint=comm.rank
+                    )
                     crashed = True
                     break
             status = reader.begin_step()

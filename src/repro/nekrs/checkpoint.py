@@ -106,11 +106,23 @@ def write_checkpoint(
     fields: dict[str, np.ndarray],
 ) -> tuple[Path, int]:
     """Write one rank's dump; returns (path, bytes written)."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    payload = encode_checkpoint(case, step, time, rank, size, fields)
-    path = directory / checkpoint_filename(case, step, rank)
-    path.write_bytes(payload)
+    from repro.observe.session import get_telemetry
+
+    tel = get_telemetry()
+    with tel.tracer.span("checkpoint.write", step=step):
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = encode_checkpoint(case, step, time, rank, size, fields)
+        path = directory / checkpoint_filename(case, step, rank)
+        path.write_bytes(payload)
+    if tel.enabled:
+        tel.metrics.counter(
+            "repro_checkpoint_dumps_total", "Checkpoint files written"
+        ).inc()
+        tel.metrics.counter(
+            "repro_checkpoint_bytes_total", "Checkpoint bytes written"
+        ).inc(len(payload))
+        tel.memory.observe("checkpoint.buffer", len(payload))
     return path, len(payload)
 
 

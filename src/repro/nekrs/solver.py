@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.nekrs.config import CaseDefinition
 from repro.nekrs.timestepper import bdf_coefficients, effective_order, ext_coefficients
+from repro.observe.session import get_telemetry
 from repro.occa import Device, DeviceMemory
 from repro.parallel.comm import Communicator, ReduceOp
 from repro.sem.krylov import cg_solve
@@ -284,6 +285,23 @@ class NekRSSolver:
     # ------------------------------------------------------------------
     def step(self) -> StepReport:
         """Advance one timestep; returns diagnostics."""
+        tel = get_telemetry()
+        with tel.tracer.span("solver.step", step=self.step_index):
+            report = self._step_impl(tel)
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_solver_steps_total", "Completed solver timesteps"
+            ).inc()
+            tel.metrics.histogram(
+                "repro_solver_step_seconds", "Wall time per solver timestep"
+            ).observe(report.wall_seconds)
+            tel.metrics.gauge(
+                "repro_solver_cfl", "Advective CFL of the latest step", agg="max"
+            ).set(report.cfl)
+            tel.memory.observe("solver", self.memory_bytes())
+        return report
+
+    def _step_impl(self, tel) -> StepReport:
         import time as _time
 
         t_begin = _time.perf_counter()
@@ -305,7 +323,7 @@ class NekRSSolver:
         # ---- temperature ---------------------------------------------------
         scalar_iters = 0
         if self.T is not None:
-            with self.watch.phase("scalar"):
+            with self.watch.phase("scalar"), tel.tracer.span("solver.scalar"):
                 self._hist_advT.append(self._advection_term_T(self.time))
                 NT_ext = self._bdf_sum(self._hist_advT[-len(a) :], a)
                 T_hat = self._bdf_sum(self._hist_T[-len(b) :], b)
@@ -328,7 +346,7 @@ class NekRSSolver:
 
         # ---- passive scalars ------------------------------------------------
         for spec in case.passive_scalars:
-            with self.watch.phase("scalar"):
+            with self.watch.phase("scalar"), tel.tracer.span("solver.scalar"):
                 name = spec.name
                 field = self.scalars[name]
                 adv = -self._convect(field, self.u, self.v, self.w)
@@ -360,7 +378,7 @@ class NekRSSolver:
                 scalar_iters += result.iterations
 
         # ---- advection / tentative velocity ------------------------------------
-        with self.watch.phase("advection"):
+        with self.watch.phase("advection"), tel.tracer.span("solver.advection"):
             self._hist_adv.append(self._advection_terms(self.time))
             Nx, Ny, Nz = self._bdf_sum(self._hist_adv[-len(a) :], a)
             uh, vh, wh = self._bdf_sum(self._hist_u[-len(b) :], b)
@@ -375,7 +393,7 @@ class NekRSSolver:
             ws[bc_nodes] = wb[bc_nodes]
 
         # ---- pressure Poisson -----------------------------------------------
-        with self.watch.phase("pressure"):
+        with self.watch.phase("pressure"), tel.tracer.span("solver.pressure"):
             div_star = self.ops.div(us, vs, ws)
             rp = self.ops.assemble(self.ops.mass_apply(-(b0 / dt) * div_star))
             rp *= self.pressure_mask
@@ -406,7 +424,7 @@ class NekRSSolver:
             ws = ws - (dt / b0) * pz
 
         # ---- viscous Helmholtz solves -----------------------------------------
-        with self.watch.phase("viscous"):
+        with self.watch.phase("viscous"), tel.tracer.span("solver.viscous"):
             h0_scalar = case.density * b0 / dt
             h0 = h0_scalar if self.chi is None else h0_scalar + self.chi
             vel_iters = 0

@@ -138,8 +138,11 @@ class Device:
     # -- memory ---------------------------------------------------------
     def malloc(self, shape, dtype=np.float64) -> DeviceMemory:
         """Allocate a zero-initialized device buffer."""
+        from repro.observe.session import get_telemetry
+
         arr = np.zeros(shape, dtype=dtype)
         self.allocated_bytes += arr.nbytes
+        get_telemetry().memory.allocate("occa.device", arr.nbytes)
         return DeviceMemory(self, arr)
 
     def to_device(self, host_array: np.ndarray) -> DeviceMemory:

@@ -22,6 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.catalyst.pipeline import RenderPipeline, RenderSpec, load_pipeline_script
+from repro.observe.session import get_telemetry
 from repro.parallel.comm import Communicator
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.data_adaptor import DataAdaptor
@@ -170,16 +171,27 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
     def execute(self, data: DataAdaptor) -> bool:
         step = data.get_data_time_step()
         time = data.get_data_time()
-        with self.watch.phase("gather"):
+        tel = get_telemetry()
+        with self.watch.phase("gather"), tel.tracer.span("catalyst.gather", step=step):
             image = gather_uniform_volume(self.comm, data, self.mesh_name, self.arrays)
         if image is not None:
             self.peak_staging_bytes = max(self.peak_staging_bytes, image.nbytes)
-            with self.watch.phase("render"):
+            tel.memory.observe("catalyst.framebuffer", image.nbytes)
+            with self.watch.phase("render"), tel.tracer.span("catalyst.render", step=step):
                 outputs = self.render(image, step, time)
             self.output_dir.mkdir(parents=True, exist_ok=True)
-            with self.watch.phase("write"):
+            with self.watch.phase("write"), tel.tracer.span("catalyst.write", step=step):
+                written = 0
                 for name, rgb in outputs:
                     path = self.output_dir / f"{name}_{step:06d}.png"
-                    self.image_bytes += write_png(path, rgb)
+                    written += write_png(path, rgb)
                     self.images_written += 1
+                self.image_bytes += written
+            if tel.enabled:
+                tel.metrics.counter(
+                    "repro_catalyst_images_total", "PNG images rendered in situ"
+                ).inc(len(outputs))
+                tel.metrics.counter(
+                    "repro_catalyst_image_bytes_total", "PNG bytes written in situ"
+                ).inc(written)
         return True

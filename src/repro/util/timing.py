@@ -21,19 +21,29 @@ class TimingStats:
 
     count: int = 0
     total: float = 0.0
-    min: float = math.inf
-    max: float = -math.inf
+    _min: float = math.inf
+    _max: float = -math.inf
     _mean: float = 0.0
     _m2: float = 0.0
 
     def add(self, sample: float) -> None:
         self.count += 1
         self.total += sample
-        self.min = min(self.min, sample)
-        self.max = max(self.max, sample)
+        self._min = min(self._min, sample)
+        self._max = max(self._max, sample)
         delta = sample - self._mean
         self._mean += delta / self.count
         self._m2 += delta * (sample - self._mean)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample; 0.0 when empty (never the inf sentinel)."""
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest sample; 0.0 when empty (never the -inf sentinel)."""
+        return self._max if self.count else 0.0
 
     @property
     def mean(self) -> float:
@@ -54,8 +64,8 @@ class TimingStats:
         if self.count == 0:
             self.count = other.count
             self.total = other.total
-            self.min = other.min
-            self.max = other.max
+            self._min = other._min
+            self._max = other._max
             self._mean = other._mean
             self._m2 = other._m2
             return self
@@ -65,8 +75,8 @@ class TimingStats:
         self._mean = (self.count * self._mean + other.count * other._mean) / n
         self.count = n
         self.total += other.total
-        self.min = min(self.min, other.min)
-        self.max = max(self.max, other.max)
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
         return self
 
     def as_dict(self) -> dict:
@@ -74,8 +84,8 @@ class TimingStats:
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min,
+            "max": self.max,
             "std": self.std,
         }
 

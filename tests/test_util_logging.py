@@ -63,3 +63,39 @@ class TestGetLogger:
         log = get_logger("t6", stream=stream)
         log.info("once")
         assert stream.getvalue().count("once") == 1
+
+    def test_refetch_is_idempotent_handler_count(self):
+        stream = io.StringIO()
+        for _ in range(5):
+            log = get_logger("t7", stream=stream)
+        assert len(log.handlers) == 1
+
+    def test_concurrent_ranks_share_one_handler(self):
+        import threading
+
+        stream = io.StringIO()
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def body(rank):
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    log = get_logger("t8", _FakeComm(0, 4), stream=stream)
+                    log.info("msg-%d", rank)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=body, args=(r,)) for r in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        log = get_logger("t8", _FakeComm(0, 4), stream=stream)
+        # racing refetches must never stack handlers...
+        assert len(log.handlers) == 1
+        # ...and every message must appear exactly once
+        out = stream.getvalue()
+        for rank in range(8):
+            assert out.count(f"msg-{rank}") == 20

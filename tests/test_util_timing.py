@@ -16,6 +16,22 @@ class TestTimingStats:
         assert s.mean == 0.0
         assert s.std == 0.0
 
+    def test_empty_min_max_are_zero(self):
+        # regression: these used to report +inf/-inf sentinels
+        s = TimingStats()
+        assert s.min == 0.0
+        assert s.max == 0.0
+
+    def test_merge_of_empties_stays_zero(self):
+        a, b = TimingStats(), TimingStats()
+        a.merge(b)
+        assert a.min == 0.0
+        assert a.max == 0.0
+        a.add(3.0)
+        a.merge(TimingStats())
+        assert a.min == 3.0
+        assert a.max == 3.0
+
     def test_single_sample(self):
         s = TimingStats()
         s.add(2.5)
