@@ -1,0 +1,67 @@
+"""Perf-gate benchmarks: the gated kernels through ``run_gate``.
+
+These are the same kernels ``python -m repro bench --gate`` times
+against ``BENCH_3.json``; running them under pytest (marked ``perf``)
+wires the gate into the benchmark suite so a CI lane can fail on
+regressions without shelling out to the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.gate import KERNELS, THRESHOLD, run_gate
+
+pytestmark = pytest.mark.perf
+
+
+def test_gate_runs_every_kernel(tmp_path):
+    path = tmp_path / "BENCH.json"
+    report = run_gate(path=path, repeats=2)
+    assert report.ok
+    assert set(report.kernels) == set(KERNELS)
+    for k in report.kernels.values():
+        assert k["latest_s"] > 0 and k["reference_s"] > 0
+        assert k["status"] == "ok"
+    data = json.loads(path.read_text())
+    assert data["threshold"] == THRESHOLD
+    assert set(data["kernels"]) == set(KERNELS)
+
+
+def test_gate_records_speedups_on_hot_kernels(tmp_path):
+    """The headline kernels must beat their reference paths.
+
+    Generous floor (1.2x, not the 2x the PR demonstrates) so a loaded
+    CI box doesn't flake; BENCH_3.json records the real margins.
+    """
+    subset = {
+        name: KERNELS[name]
+        for name in ("gather_scatter_setup", "rasterize_mesh")
+    }
+    report = run_gate(path=tmp_path / "BENCH.json", repeats=3, kernels=subset)
+    for name, k in report.kernels.items():
+        assert k["speedup"] > 1.2, f"{name}: {k['speedup']:.2f}x"
+
+
+def test_gate_fails_on_synthetic_regression(tmp_path):
+    """Doctoring the baseline below latest/threshold must fail the gate."""
+    path = tmp_path / "BENCH.json"
+    first = run_gate(path=path, repeats=1,
+                     kernels={"marshal_roundtrip": KERNELS["marshal_roundtrip"]})
+    assert first.ok
+    data = json.loads(path.read_text())
+    kern = data["kernels"]["marshal_roundtrip"]
+    # pretend the recorded baseline was 4x faster than anything the
+    # machine can do now -> current timing exceeds threshold * baseline
+    # (the exact-25% boundary case is covered deterministically by
+    # tests/test_perf.py::test_compare_to_baseline_synthetic_regression)
+    kern["baseline_s"] = kern["latest_s"] / 4.0
+    path.write_text(json.dumps(data))
+
+    report = run_gate(path=path, repeats=1,
+                      kernels={"marshal_roundtrip": KERNELS["marshal_roundtrip"]})
+    assert not report.ok
+    assert report.kernels["marshal_roundtrip"]["status"] == "FAIL"
+    assert any("marshal_roundtrip" in msg for msg in report.failures)

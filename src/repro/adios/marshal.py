@@ -13,6 +13,16 @@ in-flight corruption is *detected* on unmarshal — raised as
 silently feeding garbage arrays to the analysis side.  Version 1
 (``RBP1``, no checksum) payloads are still readable, so BP files
 written by older runs replay unchanged.
+
+The default paths are zero-copy: :func:`marshal_step` sizes the
+payload first and writes every field into one preallocated
+``bytearray`` through ``memoryview`` slices (no BytesIO growth, no
+``tobytes`` staging copy), and :func:`unmarshal_step` returns arrays
+that *view* the payload buffer, marked read-only.  A consumer that
+needs to mutate calls :meth:`StepPayload.ensure_writable` — copy on
+first write, not per payload.  The byte layout is identical to the
+retained ``*_reference`` implementations (``repro.perf.naive_mode``),
+which the equivalence tests assert byte-for-byte.
 """
 
 from __future__ import annotations
@@ -26,9 +36,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults.errors import CorruptPayloadError
+from repro.perf import config
 
 _MAGIC = b"RBP2"
 _MAGIC_V1 = b"RBP1"
+_HEADER = "<qdqI"
+_HEADER_SIZE = struct.calcsize(_HEADER)
 
 _DTYPE_TAGS = {
     np.dtype("<f8"): b"f8",
@@ -54,14 +67,35 @@ class StepPayload:
     def nbytes(self) -> int:
         return sum(v.nbytes for v in self.variables.values())
 
+    def ensure_writable(self, name: str) -> np.ndarray:
+        """Copy-on-write access to a variable.
 
-def _write_block(buf: io.BytesIO, name: str, arr: np.ndarray) -> None:
+        Arrays from :func:`unmarshal_step` are read-only views into the
+        transport buffer; this replaces one with a private writable
+        copy the first time a consumer needs to mutate it.
+        """
+        arr = self.variables[name]
+        if not arr.flags.writeable:
+            arr = arr.copy()
+            self.variables[name] = arr
+        return arr
+
+
+def _normalize_array(arr: np.ndarray) -> tuple[np.ndarray, bytes]:
+    """Contiguous little-endian array + its two-byte dtype tag."""
     arr = np.ascontiguousarray(arr)
     dtype = arr.dtype.newbyteorder("<") if arr.dtype.byteorder == ">" else arr.dtype
     arr = arr.astype(dtype, copy=False)
     tag = _DTYPE_TAGS.get(arr.dtype)
     if tag is None:
         raise TypeError(f"unsupported dtype for BP marshal: {arr.dtype}")
+    return arr, tag
+
+
+# -- reference (copying) codec ------------------------------------------
+
+def _write_block(buf: io.BytesIO, name: str, arr: np.ndarray) -> None:
+    arr, tag = _normalize_array(arr)
     name_b = name.encode()
     buf.write(struct.pack("<H", len(name_b)))
     buf.write(name_b)
@@ -73,11 +107,11 @@ def _write_block(buf: io.BytesIO, name: str, arr: np.ndarray) -> None:
     buf.write(raw)
 
 
-def marshal_step(payload: StepPayload) -> bytes:
-    """Encode a StepPayload to transportable bytes (CRC32-protected)."""
+def marshal_step_reference(payload: StepPayload) -> bytes:
+    """Original BytesIO encoder, kept for the gate/equivalence tests."""
     buf = io.BytesIO()
     attrs = json.dumps(payload.attributes).encode()
-    buf.write(struct.pack("<qdqI", payload.step, payload.time, payload.rank, len(attrs)))
+    buf.write(struct.pack(_HEADER, payload.step, payload.time, payload.rank, len(attrs)))
     buf.write(attrs)
     buf.write(struct.pack("<I", len(payload.variables)))
     for name, arr in payload.variables.items():
@@ -87,50 +121,122 @@ def marshal_step(payload: StepPayload) -> bytes:
     return _MAGIC + struct.pack("<I", crc) + body
 
 
-def unmarshal_step(data: bytes) -> StepPayload:
+def unmarshal_step_reference(data) -> StepPayload:
+    """Original copying decoder, kept for the gate/equivalence tests."""
+    payload, variables = _parse(data)
+    for name in list(variables):
+        variables[name] = variables[name].copy()
+    return payload
+
+
+# -- zero-copy codec ----------------------------------------------------
+
+def marshal_step(payload: StepPayload):
+    """Encode a StepPayload to transportable bytes (CRC32-protected).
+
+    Returns a ``bytearray`` whose layout is byte-identical to
+    :func:`marshal_step_reference`, built with a single allocation.
+    """
+    if not config.enabled():
+        return marshal_step_reference(payload)
+    attrs = json.dumps(payload.attributes).encode()
+    blocks: list[tuple[bytes, np.ndarray, bytes]] = []
+    size = 8 + _HEADER_SIZE + len(attrs) + 4
+    for name, arr in payload.variables.items():
+        arr, tag = _normalize_array(np.asarray(arr))
+        name_b = name.encode()
+        blocks.append((name_b, arr, tag))
+        size += 2 + len(name_b) + 2 + 1 + 8 * arr.ndim + 8 + arr.nbytes
+
+    out = bytearray(size)
+    mv = memoryview(out)
+    mv[0:4] = _MAGIC
+    off = 8
+    struct.pack_into(_HEADER, out, off, payload.step, payload.time,
+                     payload.rank, len(attrs))
+    off += _HEADER_SIZE
+    mv[off:off + len(attrs)] = attrs
+    off += len(attrs)
+    struct.pack_into("<I", out, off, len(blocks))
+    off += 4
+    for name_b, arr, tag in blocks:
+        struct.pack_into("<H", out, off, len(name_b))
+        off += 2
+        mv[off:off + len(name_b)] = name_b
+        off += len(name_b)
+        mv[off:off + 2] = tag
+        off += 2
+        struct.pack_into("<B", out, off, arr.ndim)
+        off += 1
+        struct.pack_into(f"<{arr.ndim}q", out, off, *arr.shape)
+        off += 8 * arr.ndim
+        struct.pack_into("<q", out, off, arr.nbytes)
+        off += 8
+        mv[off:off + arr.nbytes] = memoryview(arr).cast("B")
+        off += arr.nbytes
+    struct.pack_into("<I", out, 4, zlib.crc32(mv[8:]) & 0xFFFFFFFF)
+    return out
+
+
+def unmarshal_step(data) -> StepPayload:
     """Decode bytes produced by :func:`marshal_step`.
 
     Raises :class:`CorruptPayloadError` when the magic is unknown or
     the body fails its CRC32 check (v2 payloads); v1 payloads carry no
-    checksum and decode as before.
+    checksum and decode as before.  Variables are read-only views into
+    `data` (see :meth:`StepPayload.ensure_writable`).
     """
-    if data[:4] == _MAGIC:
-        (stored,) = struct.unpack_from("<I", data, 4)
-        if zlib.crc32(data[8:]) & 0xFFFFFFFF != stored:
+    if not config.enabled():
+        return unmarshal_step_reference(data)
+    payload, _ = _parse(data)
+    return payload
+
+
+def _parse(data) -> tuple[StepPayload, dict[str, np.ndarray]]:
+    """Shared decoder: header checks + read-only array views."""
+    view = memoryview(data)
+    if bytes(view[:4]) == _MAGIC:
+        (stored,) = struct.unpack_from("<I", view, 4)
+        if zlib.crc32(view[8:]) & 0xFFFFFFFF != stored:
             raise CorruptPayloadError(
                 "BP payload CRC32 mismatch (corrupt or trailing bytes)"
             )
         off = 8
-    elif data[:4] == _MAGIC_V1:
+    elif bytes(view[:4]) == _MAGIC_V1:
         off = 4
     else:
         raise CorruptPayloadError("not a BP step payload (bad magic)")
-    step, time, rank, attr_len = struct.unpack_from("<qdqI", data, off)
-    off += struct.calcsize("<qdqI")
-    attributes = json.loads(data[off : off + attr_len].decode())
+    step, time, rank, attr_len = struct.unpack_from(_HEADER, view, off)
+    off += _HEADER_SIZE
+    attributes = json.loads(bytes(view[off : off + attr_len]).decode())
     off += attr_len
-    (nvars,) = struct.unpack_from("<I", data, off)
+    (nvars,) = struct.unpack_from("<I", view, off)
     off += 4
     variables: dict[str, np.ndarray] = {}
     for _ in range(nvars):
-        (name_len,) = struct.unpack_from("<H", data, off)
+        (name_len,) = struct.unpack_from("<H", view, off)
         off += 2
-        name = data[off : off + name_len].decode()
+        name = bytes(view[off : off + name_len]).decode()
         off += name_len
-        tag = data[off : off + 2]
+        tag = bytes(view[off : off + 2])
         off += 2
         dtype = _TAG_DTYPES.get(tag)
         if dtype is None:
             raise ValueError(f"unknown dtype tag {tag!r} in payload")
-        (ndim,) = struct.unpack_from("<B", data, off)
+        (ndim,) = struct.unpack_from("<B", view, off)
         off += 1
-        shape = struct.unpack_from(f"<{ndim}q", data, off)
+        shape = struct.unpack_from(f"<{ndim}q", view, off)
         off += 8 * ndim
-        (raw_len,) = struct.unpack_from("<q", data, off)
+        (raw_len,) = struct.unpack_from("<q", view, off)
         off += 8
-        arr = np.frombuffer(data[off : off + raw_len], dtype=dtype).reshape(shape)
+        arr = np.frombuffer(view[off : off + raw_len], dtype=dtype).reshape(shape)
+        arr.flags.writeable = False
         off += raw_len
-        variables[name] = arr.copy()
-    if off != len(data):
+        variables[name] = arr
+    if off != len(view):
         raise ValueError("trailing bytes in BP payload")
-    return StepPayload(step=step, time=time, rank=rank, variables=variables, attributes=attributes)
+    return (
+        StepPayload(step=step, time=time, rank=rank, variables=variables,
+                    attributes=attributes),
+        variables,
+    )

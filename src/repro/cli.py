@@ -227,6 +227,14 @@ def cmd_trace(args) -> int:
 def cmd_bench(args) -> int:
     import importlib
 
+    if args.gate or args.update_baseline:
+        from repro.perf.gate import run_gate
+
+        report = run_gate(update_baseline=args.update_baseline)
+        print(report.render())
+        return 0 if report.ok else 1
+    if args.figure is None:
+        raise SystemExit("bench: provide a figure name or --gate")
     if args.figure == "report":
         from repro.bench.report import build_report
 
@@ -303,10 +311,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--output", default="trace_output")
     trace.set_defaults(fn=cmd_trace)
 
-    bench = sub.add_parser("bench", help="regenerate a paper figure/table")
-    bench.add_argument("figure", choices=_FIGURES)
+    bench = sub.add_parser(
+        "bench", help="regenerate a paper figure/table, or run the perf gate"
+    )
+    bench.add_argument("figure", nargs="?", choices=_FIGURES)
     bench.add_argument("--quick", action="store_true",
                        help="use the smallest measurement workload")
+    bench.add_argument("--gate", action="store_true",
+                       help="run the perf regression gate against BENCH_3.json")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="refresh the gate baselines with current timings")
     bench.set_defaults(fn=cmd_bench)
     return parser
 

@@ -29,6 +29,8 @@ from repro.nekrs.timestepper import bdf_coefficients, effective_order, ext_coeff
 from repro.observe.session import get_telemetry
 from repro.occa import Device, DeviceMemory
 from repro.parallel.comm import Communicator, ReduceOp
+from repro.perf import publish_stats
+from repro.perf.arena import get_arena
 from repro.sem.krylov import cg_solve
 from repro.sem.mesh import BoxMesh
 from repro.sem.operators import SEMOperators
@@ -110,6 +112,7 @@ class NekRSSolver:
         # -- masks & boundary machinery ---------------------------------------
         vel_faces = list(case.velocity_bcs.keys())
         self.velocity_mask = ~self.mesh.boundary_union(vel_faces) if vel_faces else np.ones(shape, dtype=bool)
+        self._vel_bc_nodes = ~self.velocity_mask
         self.pressure_mask = (
             ~self.mesh.boundary_union(case.pressure_dirichlet)
             if case.pressure_dirichlet
@@ -122,6 +125,7 @@ class NekRSSolver:
             if temp_faces
             else np.ones(shape, dtype=bool)
         )
+        self._temp_bc_nodes = ~self.temperature_mask
         self.scalar_masks: dict[str, np.ndarray] = {}
         for spec in case.passive_scalars:
             faces = list(spec.bcs.keys())
@@ -170,12 +174,21 @@ class NekRSSolver:
     # ------------------------------------------------------------------
     # boundary conditions
     # ------------------------------------------------------------------
-    def _velocity_bc_fields(self, t: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Fields holding Dirichlet values at BC nodes, zero elsewhere."""
+    def _velocity_bc_fields(self, t: float, out=None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fields holding Dirichlet values at BC nodes, zero elsewhere.
+
+        Pass ``out=(ub, vb, wb)`` to reuse buffers (they are zeroed).
+        """
         shape = self.mesh.field_shape()
-        ub = np.zeros(shape)
-        vb = np.zeros(shape)
-        wb = np.zeros(shape)
+        if out is None:
+            ub = np.zeros(shape)
+            vb = np.zeros(shape)
+            wb = np.zeros(shape)
+        else:
+            ub, vb, wb = out
+            ub.fill(0.0)
+            vb.fill(0.0)
+            wb.fill(0.0)
         x, y, z = self.mesh.coords()
         for tag, bc in self.case.velocity_bcs.items():
             nodes = self.mesh.boundary_nodes(tag)
@@ -223,14 +236,20 @@ class NekRSSolver:
         key: str,
     ):
         """Solve (h1 A + h0 B) x = rhs with Dirichlet values in `lift`."""
+        arena = get_arena()
 
         def apply_masked(f):
-            return self.ops.assemble(self.ops.helmholtz_apply(f, h1, h0)) * mask
+            with arena.scratch(f.shape, f.dtype) as hb:
+                self.ops.helmholtz_apply(f, h1, h0, out=hb)
+                res = self.ops.assemble(hb)  # gs returns a fresh array
+            res *= mask
+            return res
 
-        b = (
-            self.ops.assemble(rhs_local - self.ops.helmholtz_apply(lift, h1, h0))
-            * mask
-        )
+        with arena.scratch(rhs_local.shape, rhs_local.dtype) as hb:
+            self.ops.helmholtz_apply(lift, h1, h0, out=hb)
+            np.subtract(rhs_local, hb, out=hb)
+            b = self.ops.assemble(hb)
+        b *= mask
         pre = self._jacobi(h1, h0, mask, key)
         result = cg_solve(
             apply_masked,
@@ -247,19 +266,25 @@ class NekRSSolver:
     # ------------------------------------------------------------------
     def _advection_terms(self, t: float):
         """-(u.grad)u + f at the current state (pointwise)."""
-        Nx = -self._convect(self.u, self.u, self.v, self.w)
-        Ny = -self._convect(self.v, self.u, self.v, self.w)
-        Nz = -self._convect(self.w, self.u, self.v, self.w)
+        # the terms escape into the EXT history, so they are real
+        # allocations; negating in place halves the temporaries
+        Nx = self._convect(self.u, self.u, self.v, self.w)
+        np.negative(Nx, out=Nx)
+        Ny = self._convect(self.v, self.u, self.v, self.w)
+        np.negative(Ny, out=Ny)
+        Nz = self._convect(self.w, self.u, self.v, self.w)
+        np.negative(Nz, out=Nz)
         if self.case.forcing is not None:
             x, y, z = self.mesh.coords()
             fx, fy, fz = self.case.forcing(x, y, z, t, self.T)
-            Nx = Nx + fx
-            Ny = Ny + fy
-            Nz = Nz + fz
+            Nx += fx
+            Ny += fy
+            Nz += fz
         return Nx, Ny, Nz
 
     def _advection_term_T(self, t: float) -> np.ndarray:
-        NT = -self._convect(self.T, self.u, self.v, self.w)
+        NT = self._convect(self.T, self.u, self.v, self.w)
+        np.negative(NT, out=NT)
         if self.case.heat_source is not None:
             x, y, z = self.mesh.coords()
             NT = NT + self.case.heat_source(x, y, z, t)
@@ -299,6 +324,7 @@ class NekRSSolver:
                 "repro_solver_cfl", "Advective CFL of the latest step", agg="max"
             ).set(report.cfl)
             tel.memory.observe("solver", self.memory_bytes())
+            publish_stats(tel)
         return report
 
     def _step_impl(self, tel) -> StepReport:
@@ -331,7 +357,7 @@ class NekRSSolver:
                 h0 = rho_cp * b0 / dt
                 rhs = self.ops.mass_apply(rho_cp * (T_hat / dt + NT_ext))
                 Tb = self._temperature_bc_field(t_new)
-                Tb = Tb * ~self.temperature_mask
+                Tb *= self._temp_bc_nodes
                 Tnew, result = self._helmholtz_solve(
                     rhs,
                     Tb,
@@ -377,78 +403,99 @@ class NekRSSolver:
                 field[:] = snew
                 scalar_iters += result.iterations
 
-        # ---- advection / tentative velocity ------------------------------------
-        with self.watch.phase("advection"), tel.tracer.span("solver.advection"):
-            self._hist_adv.append(self._advection_terms(self.time))
-            Nx, Ny, Nz = self._bdf_sum(self._hist_adv[-len(a) :], a)
-            uh, vh, wh = self._bdf_sum(self._hist_u[-len(b) :], b)
-            us = (uh + dt * Nx) / b0
-            vs = (vh + dt * Ny) / b0
-            ws = (wh + dt * Nz) / b0
-            # embed Dirichlet values so the pressure sees inflow flux
-            ub, vb, wb = self._velocity_bc_fields(t_new)
-            bc_nodes = ~self.velocity_mask
-            us[bc_nodes] = ub[bc_nodes]
-            vs[bc_nodes] = vb[bc_nodes]
-            ws[bc_nodes] = wb[bc_nodes]
+        # the tentative velocity and BC fields live only inside this
+        # step: borrow them from the per-rank arena
+        arena = get_arena()
+        shape = self.mesh.field_shape()
+        us, vs, ws, ub, vb, wb = (arena.borrow(shape) for _ in range(6))
+        try:
+            # ---- advection / tentative velocity -----------------------------
+            with self.watch.phase("advection"), tel.tracer.span("solver.advection"):
+                self._hist_adv.append(self._advection_terms(self.time))
+                Nx, Ny, Nz = self._bdf_sum(self._hist_adv[-len(a) :], a)
+                uh, vh, wh = self._bdf_sum(self._hist_u[-len(b) :], b)
+                for star, hat, adv in ((us, uh, Nx), (vs, vh, Ny), (ws, wh, Nz)):
+                    np.multiply(adv, dt, out=star)
+                    star += hat
+                    star /= b0
+                # embed Dirichlet values so the pressure sees inflow flux
+                self._velocity_bc_fields(t_new, out=(ub, vb, wb))
+                bc_nodes = self._vel_bc_nodes
+                np.copyto(us, ub, where=bc_nodes)
+                np.copyto(vs, vb, where=bc_nodes)
+                np.copyto(ws, wb, where=bc_nodes)
 
-        # ---- pressure Poisson -----------------------------------------------
-        with self.watch.phase("pressure"), tel.tracer.span("solver.pressure"):
-            div_star = self.ops.div(us, vs, ws)
-            rp = self.ops.assemble(self.ops.mass_apply(-(b0 / dt) * div_star))
-            rp *= self.pressure_mask
-            project = (
-                self.ops.project_out_nullspace
-                if self.pressure_needs_mean_fix
-                else None
-            )
-
-            def apply_pressure(f):
-                return self.ops.assemble(self.ops.stiffness_apply(f)) * self.pressure_mask
-
-            pre_p = self._jacobi(1.0, 0.0, self.pressure_mask, "pressure")
-            pres = cg_solve(
-                apply_pressure,
-                rp,
-                self.ops.dot,
-                precond=pre_p,
-                x0=self.p * self.pressure_mask,
-                tol=case.pressure_tol,
-                max_iterations=case.max_iterations,
-                project_nullspace=project,
-            )
-            self.p[:] = pres.x
-            px, py, pz = self.ops.grad(self.ops.continuize(self.p))
-            us = us - (dt / b0) * px
-            vs = vs - (dt / b0) * py
-            ws = ws - (dt / b0) * pz
-
-        # ---- viscous Helmholtz solves -----------------------------------------
-        with self.watch.phase("viscous"), tel.tracer.span("solver.viscous"):
-            h0_scalar = case.density * b0 / dt
-            h0 = h0_scalar if self.chi is None else h0_scalar + self.chi
-            vel_iters = 0
-            new_vel = []
-            vel_key = f"velocity:h0={h0_scalar:.6e}"
-            for comp, (star, lift_field) in enumerate(
-                ((us, ub), (vs, vb), (ws, wb))
-            ):
-                rhs = self.ops.mass_apply(case.density * (b0 / dt) * star)
-                lift = lift_field * bc_nodes
-                sol, result = self._helmholtz_solve(
-                    rhs,
-                    lift,
-                    case.viscosity,
-                    h0,
-                    self.velocity_mask,
-                    case.velocity_tol,
-                    vel_key,
+            # ---- pressure Poisson -------------------------------------------
+            with self.watch.phase("pressure"), tel.tracer.span("solver.pressure"):
+                with arena.scratch(shape) as dtmp:
+                    self.ops.div(us, vs, ws, out=dtmp)
+                    dtmp *= -(b0 / dt)
+                    self.ops.mass_apply(dtmp, out=dtmp)
+                    rp = self.ops.assemble(dtmp)  # fresh array from gs
+                rp *= self.pressure_mask
+                project = (
+                    self.ops.project_out_nullspace
+                    if self.pressure_needs_mean_fix
+                    else None
                 )
-                new_vel.append(sol)
-                vel_iters += result.iterations
-            self.u[:] = new_vel[0]
-            self.v[:] = new_vel[1]
-            self.w[:] = new_vel[2]
+
+                def apply_pressure(f):
+                    with arena.scratch(f.shape, f.dtype) as sb:
+                        self.ops.stiffness_apply(f, out=sb)
+                        res = self.ops.assemble(sb)
+                    res *= self.pressure_mask
+                    return res
+
+                pre_p = self._jacobi(1.0, 0.0, self.pressure_mask, "pressure")
+                with arena.scratch(shape) as x0buf:
+                    np.multiply(self.p, self.pressure_mask, out=x0buf)
+                    pres = cg_solve(
+                        apply_pressure,
+                        rp,
+                        self.ops.dot,
+                        precond=pre_p,
+                        x0=x0buf,
+                        tol=case.pressure_tol,
+                        max_iterations=case.max_iterations,
+                        project_nullspace=project,
+                    )
+                self.p[:] = pres.x
+                with arena.scratch(shape, n=3) as (px, py, pz):
+                    self.ops.grad(self.ops.continuize(self.p), out=(px, py, pz))
+                    scale = dt / b0
+                    for star, g in ((us, px), (vs, py), (ws, pz)):
+                        g *= scale
+                        star -= g
+
+            # ---- viscous Helmholtz solves -----------------------------------
+            with self.watch.phase("viscous"), tel.tracer.span("solver.viscous"):
+                h0_scalar = case.density * b0 / dt
+                h0 = h0_scalar if self.chi is None else h0_scalar + self.chi
+                vel_iters = 0
+                new_vel = []
+                vel_key = f"velocity:h0={h0_scalar:.6e}"
+                rho_b0_dt = case.density * (b0 / dt)
+                with arena.scratch(shape, n=2) as (rhs_buf, lift_buf):
+                    for star, lift_field in ((us, ub), (vs, vb), (ws, wb)):
+                        np.multiply(star, rho_b0_dt, out=rhs_buf)
+                        self.ops.mass_apply(rhs_buf, out=rhs_buf)
+                        np.multiply(lift_field, bc_nodes, out=lift_buf)
+                        sol, result = self._helmholtz_solve(
+                            rhs_buf,
+                            lift_buf,
+                            case.viscosity,
+                            h0,
+                            self.velocity_mask,
+                            case.velocity_tol,
+                            vel_key,
+                        )
+                        new_vel.append(sol)
+                        vel_iters += result.iterations
+                self.u[:] = new_vel[0]
+                self.v[:] = new_vel[1]
+                self.w[:] = new_vel[2]
+        finally:
+            arena.release(us, vs, ws, ub, vb, wb)
 
         # ---- bookkeeping -----------------------------------------------------
         all_hists = [self._hist_u, self._hist_T, self._hist_adv, self._hist_advT]
@@ -461,8 +508,9 @@ class NekRSSolver:
         self.step_index += 1
         self.time = t_new
 
-        div_now = self.ops.div(self.u, self.v, self.w)
-        div_norm = self.ops.norm(div_now)
+        with arena.scratch(shape) as div_now:
+            self.ops.div(self.u, self.v, self.w, out=div_now)
+            div_norm = self.ops.norm(div_now)
         cfl = self.cfl()
         wall = _time.perf_counter() - t_begin
         self.watch.add_sample("step", wall)
@@ -497,12 +545,16 @@ class NekRSSolver:
     # ------------------------------------------------------------------
     def cfl(self) -> float:
         """Global advective CFL number of the current state."""
-        dxi = (
-            np.abs(self.u) / self._min_dx[0]
-            + np.abs(self.v) / self._min_dx[1]
-            + np.abs(self.w) / self._min_dx[2]
-        )
-        local = float(dxi.max()) * self.case.dt if dxi.size else 0.0
+        with get_arena().scratch(self.u.shape, n=2) as (dxi, tmp):
+            np.abs(self.u, out=dxi)
+            dxi /= self._min_dx[0]
+            np.abs(self.v, out=tmp)
+            tmp /= self._min_dx[1]
+            dxi += tmp
+            np.abs(self.w, out=tmp)
+            tmp /= self._min_dx[2]
+            dxi += tmp
+            local = float(dxi.max()) * self.case.dt if dxi.size else 0.0
         return float(self.comm.allreduce(local, ReduceOp.MAX))
 
     def kinetic_energy(self) -> float:

@@ -68,12 +68,18 @@ class Telemetry:
 #: process-wide no-op default, shared by every uninstrumented thread
 _NULL = Telemetry.disabled()
 
-_tls = threading.local()
+class _ObserveLocal(threading.local):
+    # class attribute = per-thread default; the arena hits this on
+    # every borrow/release, so skip getattr(..., default)
+    telemetry = None
+
+
+_tls = _ObserveLocal()
 
 
 def get_telemetry() -> Telemetry:
     """The calling thread's telemetry (no-op bundle when none installed)."""
-    tel = getattr(_tls, "telemetry", None)
+    tel = _tls.telemetry
     return tel if tel is not None else _NULL
 
 

@@ -1,0 +1,66 @@
+"""``repro.perf`` — allocation-free hot paths.
+
+The perf layer gives every hot kernel three things:
+
+- a per-rank :class:`PlanCache` so tensor contractions skip per-call
+  ``np.einsum_path`` planning and reuse BLAS-shaped rewrites;
+- a per-rank :class:`WorkspaceArena` so the CG loop, the solver step,
+  and the Catalyst gather/render path borrow scratch arrays instead of
+  allocating per iteration;
+- a :func:`naive_mode` switch that routes the same call sites through
+  the retained reference implementations — the equivalence tests and
+  the ``python -m repro bench --gate`` regression gate both depend on
+  being able to run before/after from one build.
+
+See ``docs/performance.md`` for the lifetime rules and the gate
+workflow.  The gate itself lives in :mod:`repro.perf.gate` and is
+imported lazily (it pulls in the solver stack).
+"""
+
+from __future__ import annotations
+
+from repro.perf.arena import WorkspaceArena, get_arena
+from repro.perf.config import enabled, naive_mode, set_enabled
+from repro.perf.plans import PlanCache, get_plan_cache
+
+__all__ = [
+    "PlanCache",
+    "WorkspaceArena",
+    "enabled",
+    "get_arena",
+    "get_plan_cache",
+    "naive_mode",
+    "publish_stats",
+    "set_enabled",
+]
+
+
+def publish_stats(tel=None) -> None:
+    """Export this rank's arena/plan-cache stats as observe gauges.
+
+    Called from the solver step when telemetry is active, so
+    ``python -m repro trace`` shows allocation behavior per rank.
+    """
+    if tel is None:
+        from repro.observe import get_telemetry
+
+        tel = get_telemetry()
+    if not tel.enabled:
+        return
+    arena = get_arena()
+    plans = get_plan_cache()
+    m = tel.metrics
+    m.gauge("repro_perf_plan_cache_hits",
+            "plan cache hits this rank", agg="sum").set(plans.hits)
+    m.gauge("repro_perf_plan_cache_misses",
+            "plan cache misses (plans built) this rank", agg="sum").set(plans.misses)
+    m.gauge("repro_perf_arena_hits",
+            "arena borrows served from the pool this rank", agg="sum").set(arena.hits)
+    m.gauge("repro_perf_arena_misses",
+            "arena borrows that allocated this rank", agg="sum").set(arena.misses)
+    m.gauge("repro_perf_arena_peak_borrowed_bytes",
+            "peak bytes simultaneously borrowed this rank",
+            agg="sum").set(arena.peak_borrowed_bytes)
+    m.gauge("repro_perf_arena_pooled_bytes",
+            "bytes parked in the arena pool this rank",
+            agg="sum").set(arena.pooled_bytes())

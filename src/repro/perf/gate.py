@@ -1,0 +1,260 @@
+"""Perf regression gate: ``python -m repro bench --gate``.
+
+Runs the gated microbenchmarks twice — optimized and, via
+``repro.perf.naive_mode``, on the retained reference paths — then
+compares the optimized timings against the committed baseline in
+``BENCH_3.json``.  A kernel that regresses more than
+``THRESHOLD - 1`` (20%) against its recorded baseline fails the gate.
+
+The file keeps three numbers per kernel so the history stays honest:
+
+- ``reference_s`` — the pre-optimization path, measured now;
+- ``latest_s`` — the optimized path, measured now;
+- ``baseline_s`` — the optimized timing recorded when the baseline was
+  last refreshed (``--update-baseline``).
+
+Everything heavyweight is imported inside the kernel builders so that
+``import repro.perf`` stays cheap for the hot paths that use it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.perf.arena import get_arena
+from repro.perf.config import naive_mode
+from repro.perf.plans import get_plan_cache
+
+SCHEMA = "repro-bench-gate/1"
+THRESHOLD = 1.2
+BASELINE_FILE = "BENCH_3.json"
+
+
+# -- gated kernel workloads ---------------------------------------------
+# each builder returns a zero-argument callable; the gate times it both
+# optimized and under naive_mode (the callables dispatch internally)
+
+def _kernel_gather_scatter_setup():
+    from repro.sem.gather_scatter import find_interface_ids
+
+    rng = np.random.default_rng(7)
+    pool = np.arange(120_000, dtype=np.int64)
+    sets = [
+        np.unique(rng.choice(pool, size=60_000, replace=False))
+        for _ in range(4)
+    ]
+    return lambda: find_interface_ids(sets)
+
+
+def _kernel_stiffness_apply():
+    from repro.parallel import SerialCommunicator
+    from repro.sem import BoxMesh, SEMOperators
+
+    ops = SEMOperators(BoxMesh((4, 4, 4), order=7), SerialCommunicator())
+    rng = np.random.default_rng(0)
+    f = rng.normal(size=ops.mesh.field_shape())
+    return lambda: ops.stiffness_apply(f)
+
+
+def _kernel_cg_solve():
+    from repro.parallel import SerialCommunicator
+    from repro.sem import BoxMesh, SEMOperators
+    from repro.sem.krylov import cg_solve
+
+    ops = SEMOperators(BoxMesh((3, 3, 3), order=6), SerialCommunicator())
+    rng = np.random.default_rng(1)
+    b = ops.assemble(rng.normal(size=ops.mesh.field_shape()))
+
+    def apply_op(f):
+        return ops.assemble(ops.helmholtz_apply(f, 1.0, 1.0))
+
+    diag = ops.stiffness_diagonal(1.0, 1.0)
+    pre = np.where(diag > 0, 1.0 / np.where(diag > 0, diag, 1.0), 0.0)
+    return lambda: cg_solve(apply_op, b, ops.dot, precond=pre, tol=1e-10,
+                            max_iterations=60)
+
+
+def _kernel_solver_step():
+    from repro.nekrs import NekRSSolver
+    from repro.nekrs.cases import lid_cavity_case
+    from repro.parallel import SerialCommunicator
+
+    case = lid_cavity_case(reynolds=100, elements=2, order=5, dt=5e-3)
+    solver = NekRSSolver(case, SerialCommunicator())
+    solver.run(2)  # warm caches / ramp BDF order
+    return solver.step
+
+
+def _kernel_rasterize_mesh():
+    from repro.catalyst.camera import Camera
+    from repro.catalyst.rasterizer import Rasterizer
+
+    # thousands of small triangles — the shape marching tetrahedra
+    # feeds the Catalyst render path, where the per-triangle Python
+    # loop (not the per-pixel math) is the bottleneck
+    rng = np.random.default_rng(3)
+    nfaces = 4000
+    centers = rng.uniform(-1.2, 1.2, size=(nfaces, 1, 3))
+    vertices = (centers + rng.normal(scale=0.05, size=(nfaces, 3, 3))).reshape(-1, 3)
+    faces = np.arange(3 * nfaces).reshape(nfaces, 3)
+    colors = rng.integers(0, 256, size=(3 * nfaces, 3)).astype(np.uint8)
+    camera = Camera.fit_bounds(np.array([[-1.5, 1.5]] * 3), width=256, height=256)
+
+    def run():
+        r = Rasterizer(256, 256)
+        r.draw_mesh(camera, vertices, faces, colors)
+
+    return run
+
+
+def _kernel_marshal_roundtrip():
+    from repro.adios.marshal import StepPayload, marshal_step, unmarshal_step
+
+    rng = np.random.default_rng(0)
+    payload = StepPayload(
+        step=1, time=0.1, rank=0,
+        variables={f"f{i}": rng.normal(size=(64, 6, 6, 6)) for i in range(4)},
+    )
+    return lambda: unmarshal_step(marshal_step(payload))
+
+
+KERNELS = {
+    "gather_scatter_setup": _kernel_gather_scatter_setup,
+    "stiffness_apply": _kernel_stiffness_apply,
+    "cg_solve": _kernel_cg_solve,
+    "solver_step": _kernel_solver_step,
+    "rasterize_mesh": _kernel_rasterize_mesh,
+    "marshal_roundtrip": _kernel_marshal_roundtrip,
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def compare_to_baseline(
+    baseline: dict, current: dict, threshold: float = THRESHOLD
+) -> list[str]:
+    """Regression messages for kernels slower than threshold x baseline.
+
+    Pure function over the two ``kernels`` mappings so the fail path is
+    testable without timing anything.
+    """
+    failures = []
+    for name, cur in current.items():
+        base = baseline.get(name)
+        if not base or "baseline_s" not in base:
+            continue
+        allowed = threshold * base["baseline_s"]
+        if cur["latest_s"] > allowed:
+            failures.append(
+                f"{name}: {cur['latest_s'] * 1e3:.3f} ms exceeds "
+                f"{threshold:.2f}x baseline "
+                f"({base['baseline_s'] * 1e3:.3f} ms -> allowed "
+                f"{allowed * 1e3:.3f} ms)"
+            )
+    return failures
+
+
+@dataclass
+class GateReport:
+    ok: bool
+    path: Path
+    kernels: dict
+    failures: list[str] = field(default_factory=list)
+    allocation_stats: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"{'kernel':<22} {'reference':>11} {'optimized':>11} "
+            f"{'speedup':>8} {'baseline':>11}  status",
+        ]
+        for name, k in self.kernels.items():
+            lines.append(
+                f"{name:<22} {k['reference_s'] * 1e3:>9.3f}ms "
+                f"{k['latest_s'] * 1e3:>9.3f}ms {k['speedup']:>7.2f}x "
+                f"{k['baseline_s'] * 1e3:>9.3f}ms  {k['status']}"
+            )
+        if self.failures:
+            lines.append("")
+            lines.extend(f"FAIL {msg}" for msg in self.failures)
+        lines.append("")
+        lines.append(
+            f"gate {'PASSED' if self.ok else 'FAILED'} "
+            f"(threshold {THRESHOLD:.2f}x, baseline {self.path})"
+        )
+        return "\n".join(lines)
+
+
+def run_gate(
+    path: str | Path = BASELINE_FILE,
+    update_baseline: bool = False,
+    repeats: int = 5,
+    kernels: dict | None = None,
+) -> GateReport:
+    """Measure the gated kernels and compare against the baseline file.
+
+    Writes the refreshed ``BENCH_3.json`` (new kernels adopt their
+    current timing as baseline; existing baselines are preserved unless
+    `update_baseline`).
+    """
+    path = Path(path)
+    kernels = KERNELS if kernels is None else kernels
+    previous = {}
+    if path.exists():
+        previous = json.loads(path.read_text()).get("kernels", {})
+
+    current: dict[str, dict] = {}
+    for name, builder in kernels.items():
+        fn = builder()
+        fn()  # warm-up: build plans, fill the arena pools
+        latest = _best_of(fn, repeats)
+        with naive_mode():
+            fn()
+            reference = _best_of(fn, repeats)
+        current[name] = {
+            "latest_s": latest,
+            "reference_s": reference,
+            "speedup": reference / latest if latest > 0 else float("inf"),
+        }
+
+    failures = compare_to_baseline(previous, current)
+    failed = {f.split(":", 1)[0] for f in failures}
+    for name, cur in current.items():
+        base = previous.get(name, {}).get("baseline_s")
+        if update_baseline or base is None:
+            base = cur["latest_s"]
+        cur["baseline_s"] = base
+        cur["status"] = "FAIL" if name in failed else "ok"
+
+    arena = get_arena()
+    plans = get_plan_cache()
+    allocation_stats = {
+        "arena": arena.stats(),
+        "plan_cache": {"hits": plans.hits, "misses": plans.misses,
+                       "plans": len(plans)},
+    }
+    report = GateReport(
+        ok=not failures,
+        path=path,
+        kernels=current,
+        failures=failures,
+        allocation_stats=allocation_stats,
+    )
+    path.write_text(json.dumps({
+        "schema": SCHEMA,
+        "threshold": THRESHOLD,
+        "kernels": current,
+        "allocation_stats": allocation_stats,
+    }, indent=2, sort_keys=True) + "\n")
+    return report

@@ -1,0 +1,79 @@
+"""Plan cache for tensor-contraction kernels.
+
+``np.einsum(..., optimize=True)`` re-derives a contraction order on
+every call; for the small SEM operators that planning overhead rivals
+the arithmetic.  A :class:`PlanCache` memoizes whatever a kernel needs
+to skip per-call setup — an ``np.einsum_path`` result, a reshape
+geometry for a BLAS-shaped rewrite, a precomputed constant — keyed by
+``(op, shape, dtype)`` style tuples.
+
+One cache lives per thread (= per SPMD rank), mirroring the
+``repro.observe`` session pattern: ranks never contend on a lock, and
+plans are rebuilt per rank at negligible cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+__all__ = ["PlanCache", "get_plan_cache"]
+
+
+class PlanCache:
+    """Memoize per-``(op, shape, dtype)`` kernel plans.
+
+    ``get`` is the generic entry point; ``einsum`` is a convenience for
+    subscripts-based contractions that caches the ``np.einsum_path``
+    optimal order once and replays it on every subsequent call.
+    """
+
+    def __init__(self) -> None:
+        self._plans: dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        try:
+            plan = self._plans[key]
+        except KeyError:
+            self.misses += 1
+            plan = self._plans[key] = builder()
+        else:
+            self.hits += 1
+        return plan
+
+    def einsum(self, subscripts: str, *operands: np.ndarray, out=None):
+        """``np.einsum`` with a cached contraction path."""
+        key = (
+            "einsum",
+            subscripts,
+            tuple(op.shape for op in operands),
+            tuple(op.dtype.char for op in operands),
+        )
+        path = self.get(
+            key,
+            lambda: np.einsum_path(subscripts, *operands, optimize="optimal")[0],
+        )
+        return np.einsum(subscripts, *operands, out=out, optimize=path)
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+_tls = threading.local()
+
+
+def get_plan_cache() -> PlanCache:
+    """The calling thread's (= rank's) plan cache."""
+    cache = getattr(_tls, "cache", None)
+    if cache is None:
+        cache = _tls.cache = PlanCache()
+    return cache

@@ -19,6 +19,28 @@ import numpy as np
 
 from repro.parallel.comm import Communicator, ReduceOp
 
+from repro.perf import config
+
+
+def interface_ids_reference(all_sets: list[np.ndarray]) -> np.ndarray:
+    """Original O(total-ids) Python-dict discovery, kept for the gate."""
+    counts: dict[int, int] = {}
+    for ids in all_sets:
+        for gid in ids:
+            counts[int(gid)] = counts.get(int(gid), 0) + 1
+    shared = sorted(gid for gid, c in counts.items() if c > 1)
+    return np.array(shared, dtype=np.int64)
+
+
+def find_interface_ids(all_sets: list[np.ndarray]) -> np.ndarray:
+    """Ids appearing in more than one rank's (already-unique) id set."""
+    if not config.enabled():
+        return interface_ids_reference(all_sets)
+    # each per-rank set is unique, so an id's total count across the
+    # concatenation equals the number of ranks holding it
+    uniq, counts = np.unique(np.concatenate(all_sets), return_counts=True)
+    return np.ascontiguousarray(uniq[counts > 1], dtype=np.int64)
+
 
 class GatherScatter:
     """QQ^T over a distributed global numbering.
@@ -44,12 +66,7 @@ class GatherScatter:
         if comm.size == 1:
             self.interface_ids = np.empty(0, dtype=np.int64)
         else:
-            counts: dict[int, int] = {}
-            for ids in all_sets:
-                for gid in ids:
-                    counts[int(gid)] = counts.get(int(gid), 0) + 1
-            shared = sorted(gid for gid, c in counts.items() if c > 1)
-            self.interface_ids = np.array(shared, dtype=np.int64)
+            self.interface_ids = find_interface_ids(all_sets)
         # positions of my unique ids inside the interface vector
         mine_mask = np.isin(self.local_unique, self.interface_ids, assume_unique=True)
         self.my_interface_local = np.nonzero(mine_mask)[0]
@@ -57,6 +74,7 @@ class GatherScatter:
             self.interface_ids, self.local_unique[self.my_interface_local]
         )
         self._multiplicity: np.ndarray | None = None
+        self._inv_multiplicity: np.ndarray | None = None
 
     # -- core --------------------------------------------------------------
     def __call__(self, field: np.ndarray) -> np.ndarray:
@@ -88,7 +106,9 @@ class GatherScatter:
 
     @property
     def inv_multiplicity(self) -> np.ndarray:
-        return 1.0 / self.multiplicity
+        if self._inv_multiplicity is None:
+            self._inv_multiplicity = 1.0 / self.multiplicity
+        return self._inv_multiplicity
 
     def assembled_norm_sq(self, field: np.ndarray) -> float:
         """Sum of squares over *assembled* (deduplicated) nodes, global.

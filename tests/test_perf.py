@@ -1,0 +1,381 @@
+"""Unit tests for the ``repro.perf`` layer.
+
+Covers the plan cache, the workspace arena (including its MemoryMeter
+integration and telemetry gauges), the naive-mode switch, zero-copy
+marshaling semantics, and the perf-gate plumbing — everything except
+actual wall-clock comparisons, which live behind the ``perf`` marker
+in ``benchmarks/test_bench_gate.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observe import Telemetry, active
+from repro.perf import (
+    PlanCache,
+    WorkspaceArena,
+    enabled,
+    get_arena,
+    get_plan_cache,
+    naive_mode,
+    publish_stats,
+    set_enabled,
+)
+
+
+class TestConfig:
+    def test_enabled_by_default(self):
+        assert enabled()
+
+    def test_naive_mode_restores(self):
+        assert enabled()
+        with naive_mode():
+            assert not enabled()
+            with naive_mode():
+                assert not enabled()
+            assert not enabled()
+        assert enabled()
+
+    def test_set_enabled(self):
+        try:
+            set_enabled(False)
+            assert not enabled()
+        finally:
+            set_enabled(True)
+
+    def test_flag_is_per_thread(self):
+        seen = {}
+
+        def body():
+            seen["worker"] = enabled()
+
+        with naive_mode():
+            t = threading.Thread(target=body)
+            t.start()
+            t.join()
+        assert seen["worker"] is True
+
+
+class TestPlanCache:
+    def test_get_builds_once(self):
+        cache = PlanCache()
+        calls = []
+        for _ in range(3):
+            plan = cache.get(("op", (2, 3)), lambda: calls.append(1) or "plan")
+        assert plan == "plan"
+        assert calls == [1]
+        assert cache.misses == 1 and cache.hits == 2
+        assert len(cache) == 1
+
+    def test_einsum_matches_numpy(self):
+        cache = PlanCache()
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(5, 7))
+        b = rng.normal(size=(4, 7))
+        expected = np.einsum("ij,kj->ik", a, b)
+        got = cache.einsum("ij,kj->ik", a, b)
+        np.testing.assert_allclose(got, expected, rtol=0, atol=1e-14)
+        out = np.empty_like(expected)
+        cache.einsum("ij,kj->ik", a, b, out=out)
+        np.testing.assert_allclose(out, expected, rtol=0, atol=1e-14)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_distinct_shapes_get_distinct_plans(self):
+        cache = PlanCache()
+        cache.einsum("ij,jk->ik", np.ones((2, 3)), np.ones((3, 4)))
+        cache.einsum("ij,jk->ik", np.ones((5, 3)), np.ones((3, 4)))
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.get("k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_thread_local_instances(self):
+        main = get_plan_cache()
+        other = {}
+
+        def body():
+            other["cache"] = get_plan_cache()
+
+        t = threading.Thread(target=body)
+        t.start()
+        t.join()
+        assert other["cache"] is not main
+
+
+class TestArena:
+    def test_borrow_release_roundtrip(self):
+        arena = WorkspaceArena()
+        a = arena.borrow((4, 5))
+        assert a.shape == (4, 5) and a.dtype == np.float64
+        assert arena.outstanding == 1
+        arena.release(a)
+        assert arena.outstanding == 0
+        b = arena.borrow((4, 5))
+        assert b is a  # pooled buffer reused
+        assert arena.hits == 1 and arena.misses == 1
+        arena.release(b)
+
+    def test_distinct_shape_dtype_buckets(self):
+        arena = WorkspaceArena()
+        a = arena.borrow((3,))
+        b = arena.borrow((3,), np.float32)
+        assert a.dtype != b.dtype
+        arena.release(a, b)
+        assert arena.pooled_arrays() == 2
+        assert arena.pooled_bytes() == a.nbytes + b.nbytes
+
+    def test_scratch_contextmanager(self):
+        arena = WorkspaceArena()
+        with arena.scratch((2, 2)) as t:
+            t.fill(0.0)
+            assert arena.outstanding == 1
+        assert arena.outstanding == 0
+        with arena.scratch((2, 2), n=3) as (x, y, z):
+            assert {id(x), id(y), id(z)} == {id(x), id(y), id(z)}
+            assert arena.outstanding == 3
+        assert arena.outstanding == 0
+
+    def test_scratch_releases_on_exception(self):
+        arena = WorkspaceArena()
+        with pytest.raises(RuntimeError):
+            with arena.scratch((2, 2)):
+                raise RuntimeError("boom")
+        assert arena.outstanding == 0
+
+    def test_peak_tracking(self):
+        arena = WorkspaceArena()
+        a = arena.borrow((8,))
+        b = arena.borrow((8,))
+        peak = arena.peak_borrowed_bytes
+        assert peak == a.nbytes + b.nbytes
+        arena.release(a, b)
+        arena.borrow((8,))
+        assert arena.peak_borrowed_bytes == peak  # not reset by reuse
+
+    def test_disabled_mode_is_plain_empty(self):
+        arena = WorkspaceArena()
+        with naive_mode():
+            a = arena.borrow((4,))
+            arena.release(a)
+        assert arena.hits == 0 and arena.misses == 0
+        assert arena.pooled_arrays() == 0
+
+    def test_memory_meter_charging(self):
+        tel = Telemetry.create(rank=0)
+        arena = WorkspaceArena()
+        with active(tel):
+            a = arena.borrow((1024,))
+            assert tel.memory.current("perf.arena") == a.nbytes
+            arena.release(a)
+            assert tel.memory.current("perf.arena") == 0
+            assert tel.memory.peak("perf.arena") == a.nbytes
+
+    def test_clear(self):
+        arena = WorkspaceArena()
+        arena.release(arena.borrow((4,)))
+        arena.clear()
+        assert arena.pooled_arrays() == 0
+        assert arena.stats()["misses"] == 0
+
+    def test_thread_local_instances(self):
+        main = get_arena()
+        other = {}
+
+        def body():
+            other["arena"] = get_arena()
+
+        t = threading.Thread(target=body)
+        t.start()
+        t.join()
+        assert other["arena"] is not main
+
+
+class TestPublishStats:
+    def test_gauges_exported(self):
+        tel = Telemetry.create(rank=0)
+        with active(tel):
+            arena = get_arena()
+            arena.release(arena.borrow((16,)))
+            get_plan_cache().get(("publish-stats-test",), lambda: 1)
+            publish_stats()
+        reg = tel.metrics
+        assert reg.get("repro_perf_arena_misses").value >= 1
+        assert reg.get("repro_perf_plan_cache_misses").value >= 1
+        assert reg.get("repro_perf_arena_pooled_bytes").value >= 16 * 8
+
+    def test_noop_without_telemetry(self):
+        publish_stats()  # must not raise against the null bundle
+
+
+class TestZeroCopyMarshal:
+    def _payload(self):
+        from repro.adios.marshal import StepPayload
+
+        rng = np.random.default_rng(42)
+        return StepPayload(
+            step=7, time=0.25, rank=3,
+            variables={
+                "vel": rng.normal(size=(4, 3, 3, 3)),
+                "ids": np.arange(12, dtype=np.int32).reshape(3, 4),
+            },
+            attributes={"case": "cavity"},
+        )
+
+    def test_bytes_identical_to_reference(self):
+        from repro.adios.marshal import marshal_step, marshal_step_reference
+
+        payload = self._payload()
+        assert bytes(marshal_step(payload)) == marshal_step_reference(payload)
+
+    def test_marshal_returns_bytearray(self):
+        from repro.adios.marshal import marshal_step
+
+        assert isinstance(marshal_step(self._payload()), bytearray)
+
+    def test_unmarshal_views_are_read_only(self):
+        from repro.adios.marshal import marshal_step, unmarshal_step
+
+        out = unmarshal_step(marshal_step(self._payload()))
+        arr = out.variables["vel"]
+        assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            arr[0, 0, 0, 0] = 1.0
+
+    def test_ensure_writable_copy_on_write(self):
+        from repro.adios.marshal import marshal_step, unmarshal_step
+
+        out = unmarshal_step(marshal_step(self._payload()))
+        view = out.variables["vel"]
+        writable = out.ensure_writable("vel")
+        assert writable.flags.writeable and writable is not view
+        assert out.variables["vel"] is writable
+        np.testing.assert_array_equal(writable, view)
+        # second call is a no-op (already private)
+        assert out.ensure_writable("vel") is writable
+
+    def test_roundtrip_values(self):
+        from repro.adios.marshal import marshal_step, unmarshal_step
+
+        payload = self._payload()
+        out = unmarshal_step(marshal_step(payload))
+        assert out.step == payload.step and out.rank == payload.rank
+        assert out.attributes == payload.attributes
+        for name, arr in payload.variables.items():
+            np.testing.assert_array_equal(out.variables[name], arr)
+
+    def test_naive_mode_roundtrip_matches(self):
+        from repro.adios.marshal import marshal_step, unmarshal_step
+
+        payload = self._payload()
+        fast = bytes(marshal_step(payload))
+        with naive_mode():
+            slow = marshal_step(payload)
+            out = unmarshal_step(slow)
+        assert fast == slow
+        assert out.variables["vel"].flags.writeable  # reference copies
+        np.testing.assert_array_equal(out.variables["vel"],
+                                      payload.variables["vel"])
+
+
+class TestGate:
+    def test_compare_to_baseline_synthetic_regression(self):
+        """A 25% regression against baseline must fail the 20% gate."""
+        from repro.perf.gate import compare_to_baseline
+
+        baseline = {"k": {"baseline_s": 1.0}}
+        failures = compare_to_baseline(baseline, {"k": {"latest_s": 1.25}})
+        assert len(failures) == 1 and failures[0].startswith("k:")
+        # 15% slower stays inside the 20% threshold
+        assert compare_to_baseline(baseline, {"k": {"latest_s": 1.15}}) == []
+
+    def test_compare_ignores_unknown_kernels(self):
+        from repro.perf.gate import compare_to_baseline
+
+        assert compare_to_baseline({}, {"new": {"latest_s": 9.9}}) == []
+
+    def test_run_gate_writes_baseline_and_passes(self, tmp_path):
+        from repro.perf.gate import SCHEMA, run_gate
+
+        path = tmp_path / "BENCH.json"
+        kernels = {"noop": lambda: (lambda: None)}
+        report = run_gate(path=path, repeats=1, kernels=kernels)
+        assert report.ok
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA
+        kern = data["kernels"]["noop"]
+        assert kern["baseline_s"] == kern["latest_s"]
+        assert "arena" in data["allocation_stats"]
+        assert "gate PASSED" in report.render()
+
+    def test_run_gate_preserves_baseline_unless_updated(self, tmp_path):
+        from repro.perf.gate import run_gate
+
+        path = tmp_path / "BENCH.json"
+        kernels = {"noop": lambda: (lambda: None)}
+        run_gate(path=path, repeats=1, kernels=kernels)
+        data = json.loads(path.read_text())
+        data["kernels"]["noop"]["baseline_s"] = 123.0
+        path.write_text(json.dumps(data))
+
+        run_gate(path=path, repeats=1, kernels=kernels)
+        kept = json.loads(path.read_text())["kernels"]["noop"]["baseline_s"]
+        assert kept == 123.0
+
+        run_gate(path=path, repeats=1, kernels=kernels, update_baseline=True)
+        refreshed = json.loads(path.read_text())["kernels"]["noop"]
+        assert refreshed["baseline_s"] == refreshed["latest_s"] != 123.0
+
+    def test_run_gate_fails_on_doctored_baseline(self, tmp_path):
+        from repro.perf.gate import run_gate
+
+        path = tmp_path / "BENCH.json"
+
+        def build():
+            def body():
+                x = 0
+                for i in range(20000):
+                    x += i
+                return x
+
+            return body
+
+        kernels = {"spin": build}
+        first = run_gate(path=path, repeats=1, kernels=kernels)
+        assert first.ok
+        data = json.loads(path.read_text())
+        data["kernels"]["spin"]["baseline_s"] = (
+            data["kernels"]["spin"]["latest_s"] / 1e6
+        )
+        path.write_text(json.dumps(data))
+
+        report = run_gate(path=path, repeats=1, kernels=kernels)
+        assert not report.ok
+        assert report.kernels["spin"]["status"] == "FAIL"
+        assert "FAIL" in report.render()
+
+    def test_cli_gate_exit_codes(self, tmp_path, monkeypatch):
+        from repro import cli
+
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(
+            "repro.perf.gate.KERNELS", {"noop": lambda: (lambda: None)}
+        )
+        assert cli.main(["bench", "--gate"]) == 0
+        data = json.loads((tmp_path / "BENCH_3.json").read_text())
+        data["kernels"]["noop"]["baseline_s"] = -1.0
+        (tmp_path / "BENCH_3.json").write_text(json.dumps(data))
+        assert cli.main(["bench", "--gate"]) == 1
+
+    def test_bench_requires_figure_or_gate(self):
+        from repro import cli
+
+        with pytest.raises(SystemExit):
+            cli.main(["bench"])

@@ -125,6 +125,35 @@ class TestCGOnSEM:
         err = ops.norm(ops.project_out_nullspace(res.x - pe)) / ops.norm(pe)
         assert err < 1e-4  # discretization error of sin(x) at order 6, E=2
 
+    def test_cg_iterations_are_allocation_free(self):
+        """Warmed-up solves borrow every scratch buffer from the arena.
+
+        The CG loop itself must not allocate per iteration: after one
+        warm-up solve has populated the arena pools and the operator
+        plan cache, a second solve adds zero arena misses (every borrow
+        is a pool hit) and returns every buffer (outstanding == 0).
+        """
+        from repro.perf import get_arena
+
+        ops = SEMOperators(BoxMesh((2, 2, 2), order=5), SerialCommunicator())
+        rng = np.random.default_rng(0)
+        b = ops.assemble(rng.normal(size=ops.mesh.field_shape()))
+        diag = ops.stiffness_diagonal(1.0, 1.0)
+
+        def solve():
+            return cg_solve(
+                lambda u: ops.assemble(ops.helmholtz_apply(u, 1.0, 1.0)),
+                b, ops.dot, precond=1.0 / diag, tol=1e-12, max_iterations=40,
+            )
+
+        solve()  # warm the arena pools and plan cache
+        arena = get_arena()
+        misses_before = arena.misses
+        res = solve()
+        assert res.iterations > 5  # the loop actually ran
+        assert arena.misses == misses_before  # zero fresh allocations
+        assert arena.outstanding == 0  # every borrow released
+
 
 class TestResampling:
     def test_reproduces_polynomials_exactly(self):
