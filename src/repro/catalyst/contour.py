@@ -68,12 +68,21 @@ def marching_tetrahedra(
     origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
     spacing: tuple[float, float, float] = (1.0, 1.0, 1.0),
     aux: np.ndarray | None = None,
+    index_offset: tuple[int, int, int] = (0, 0, 0),
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Extract the isosurface of `volume` at `isovalue`.
 
     Returns ``(vertices (V, 3), faces (F, 3), values (V,))`` where
     `values` interpolates `aux` (or the volume itself) onto the surface
     — used to pseudocolor an isosurface of one field by another.
+
+    `index_offset` (i, j, k) places the volume at a lattice offset of a
+    larger global grid: vertex positions are computed as
+    ``origin + (local_index + index_offset) * spacing``, so a fragment
+    of a global volume yields *bitwise identical* vertex coordinates to
+    contouring the whole — integer lattice indices add exactly, whereas
+    pre-shifting the origin by ``index_offset * spacing`` would round
+    differently.  The sort-last compositor depends on this.
     """
     vol = np.asarray(volume, dtype=float)
     if vol.ndim != 3:
@@ -98,6 +107,7 @@ def marching_tetrahedra(
     faces: list[tuple[int, int, int]] = []
     sp = np.asarray(spacing, dtype=float)
     org = np.asarray(origin, dtype=float)
+    offset = np.asarray(index_offset, dtype=np.int64)
 
     for k, j, i in zip(ks, js, is_):
         corner_idx = np.array([i, j, k]) + _CORNER_OFFSETS  # (8, 3) (i,j,k)
@@ -106,7 +116,7 @@ def marching_tetrahedra(
             # thresholded/blanked region: no surface through this cube
             continue
         ca = aux_vol[corner_idx[:, 2], corner_idx[:, 1], corner_idx[:, 0]]
-        cpos = org + corner_idx * sp
+        cpos = org + (corner_idx + offset) * sp
         for tet in _TETS:
             case = 0
             for v in range(4):

@@ -117,15 +117,11 @@ class RenderPipeline:
     ) -> None:
         if not self.annotate:
             return
-        from repro.catalyst.annotations import draw_colorbar, draw_step_label
-
         color_array = spec.color_array or spec.array
         values = image.point_data[color_array].values
         vmin = spec.vmin if spec.vmin is not None else float(np.nanmin(values))
         vmax = spec.vmax if spec.vmax is not None else float(np.nanmax(values))
-        draw_step_label(frame, step, time)
-        if frame.shape[1] >= 64:
-            draw_colorbar(frame, vmin, vmax, spec.colormap)
+        draw_annotations(frame, spec, vmin, vmax, step, time)
 
     # -- passes -------------------------------------------------------------
     def _bounds(self, image: ImageData) -> np.ndarray:
@@ -142,7 +138,7 @@ class RenderPipeline:
             width=self.width,
             height=self.height,
         )
-        raster = Rasterizer(self.width, self.height)
+        raster = Rasterizer(self.width, self.height, from_arena=True)
         for spec in specs:
             vol = spec.apply_threshold(image.as_volume(spec.array), image)
             aux = (
@@ -162,7 +158,11 @@ class RenderPipeline:
             colors = apply_colormap(vals, spec.vmin, spec.vmax, spec.colormap)
             raster.draw_mesh(camera, verts, faces, colors)
         raster.draw_background_gradient()
-        return raster.image().copy()
+        # the frame escapes with the caller; the z-buffer goes back to
+        # the arena pool (no full-frame copy)
+        frame = raster.image()
+        raster.close(keep_image=True)
+        return frame
 
     def _render_slice(self, image: ImageData, spec: RenderSpec) -> np.ndarray:
         bounds = self._bounds(image)
@@ -186,12 +186,35 @@ class RenderPipeline:
         return _resize_nearest(rgb, self.height, self.width)
 
 
+def draw_annotations(
+    frame: np.ndarray,
+    spec: RenderSpec,
+    vmin: float,
+    vmax: float,
+    step: int,
+    time: float,
+) -> None:
+    """Burn the step label and colorbar into a finished frame.
+
+    The value range is passed in explicitly so distributed renderers
+    (``repro.catalyst.compositor``) can supply globally reduced bounds
+    and still produce byte-identical annotations.
+    """
+    from repro.catalyst.annotations import draw_colorbar, draw_step_label
+
+    draw_step_label(frame, step, time)
+    if frame.shape[1] >= 64:
+        draw_colorbar(frame, vmin, vmax, spec.colormap)
+
+
 def _resize_nearest(img: np.ndarray, height: int, width: int) -> np.ndarray:
     """Nearest-neighbor resize to the pipeline's output resolution."""
     h, w = img.shape[:2]
     rows = np.clip((np.arange(height) * h) // height, 0, h - 1)
     cols = np.clip((np.arange(width) * w) // width, 0, w - 1)
-    return img[rows][:, cols]
+    # one fused take instead of two chained fancy indexes (the first
+    # of which materialized a full intermediate copy)
+    return img[np.ix_(rows, cols)]
 
 
 def load_pipeline_script(path):

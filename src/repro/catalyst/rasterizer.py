@@ -38,19 +38,65 @@ class Rasterizer:
         width: int,
         height: int,
         background: tuple[int, int, int] = (18, 22, 30),
+        from_arena: bool = False,
     ):
         if width < 1 or height < 1:
             raise ValueError("image dimensions must be positive")
         self.width = width
         self.height = height
-        self.color = np.empty((height, width, 3), dtype=np.uint8)
+        if from_arena and config.enabled():
+            from repro.perf.arena import get_arena
+
+            arena = get_arena()
+            self.color = arena.borrow((height, width, 3), np.uint8)
+            self.depth = arena.borrow((height, width), np.float64)
+            self.depth.fill(np.inf)
+            self._arena = arena
+        else:
+            self.color = np.empty((height, width, 3), dtype=np.uint8)
+            self.depth = np.full((height, width), np.inf)
+            self._arena = None
         self.color[:] = np.asarray(background, dtype=np.uint8)
-        self.depth = np.full((height, width), np.inf)
         self.triangles_drawn = 0
 
     def image(self) -> np.ndarray:
-        """The current framebuffer (H, W, 3) uint8."""
+        """The current framebuffer (H, W, 3) uint8.
+
+        For an arena-backed rasterizer this is the live (borrowed)
+        buffer; callers that keep the frame past the rasterizer's life
+        must pair it with ``close(keep_image=True)``, which adopts the
+        buffer out of the arena instead of recycling it.
+        """
         return self.color
+
+    def depth_image(self, dtype=np.float32) -> np.ndarray:
+        """The z-buffer (H, W); ``inf`` where nothing was drawn.
+
+        Returns the live float64 buffer when `dtype` matches, otherwise
+        a converted copy — the sort-last compositor exchanges float32
+        depths to halve compositing traffic.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.depth.dtype:
+            return self.depth
+        return self.depth.astype(dtype)
+
+    def close(self, keep_image: bool = False) -> None:
+        """Return arena-backed buffers to the pool.
+
+        With `keep_image` the color buffer escapes with the caller
+        (arena stops tracking it without recycling it); the depth
+        buffer is always recycled.  No-op for plain rasterizers and on
+        repeated calls.
+        """
+        arena, self._arena = self._arena, None
+        if arena is None:
+            return
+        if keep_image:
+            arena.adopt(self.color)
+        else:
+            arena.release(self.color)
+        arena.release(self.depth)
 
     def draw_mesh(
         self,
@@ -304,9 +350,25 @@ class Rasterizer:
         bottom: tuple[int, int, int] = (8, 10, 14),
     ) -> None:
         """Vertical gradient backdrop (drawn only where nothing rendered)."""
-        t = np.linspace(0.0, 1.0, self.height)[:, None, None]
-        grad = (1 - t) * np.asarray(top, float) + t * np.asarray(bottom, float)
-        untouched = ~np.isfinite(self.depth)
-        self.color[untouched] = np.broadcast_to(
-            grad, (self.height, self.width, 3)
-        )[untouched].astype(np.uint8)
+        apply_background_gradient(self.color, self.depth, top, bottom)
+
+
+def apply_background_gradient(
+    color: np.ndarray,
+    depth: np.ndarray,
+    top: tuple[int, int, int] = (30, 36, 48),
+    bottom: tuple[int, int, int] = (8, 10, 14),
+) -> None:
+    """Gradient-fill `color` wherever `depth` says nothing rendered.
+
+    Shared by :meth:`Rasterizer.draw_background_gradient` and the
+    sort-last compositor, which must apply the identical backdrop to a
+    *composited* framebuffer on the root rank.
+    """
+    height, width = depth.shape
+    t = np.linspace(0.0, 1.0, height)[:, None, None]
+    grad = (1 - t) * np.asarray(top, float) + t * np.asarray(bottom, float)
+    untouched = ~np.isfinite(depth)
+    color[untouched] = np.broadcast_to(
+        grad, (height, width, 3)
+    )[untouched].astype(np.uint8)

@@ -13,6 +13,35 @@ import numpy as np
 _AXES = {"x": 2, "y": 1, "z": 0}   # volume is [k, j, i] = [z, y, x]
 
 
+def slice_plan(
+    n: int,
+    axis: str,
+    position: float,
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    spacing: tuple[float, float, float] = (1.0, 1.0, 1.0),
+) -> tuple[int, int, float]:
+    """Lattice interpolation plan ``(i0, i1, t)`` for `axis` = `position`.
+
+    The plane interpolates between lattice planes ``i0`` and ``i1`` of
+    an `n`-sample axis with weight ``t``: ``(1 - t) * lo + t * hi``.
+    Factored out of :func:`axis_slice` so the sort-last compositor can
+    compute the identical plan against global grid metadata and gather
+    only the two contributing lattice planes from the rank fragments.
+    """
+    if axis not in _AXES:
+        raise ValueError(f"axis must be x|y|z, got {axis!r}")
+    world_axis = {"x": 0, "y": 1, "z": 2}[axis]
+    coord = (position - origin[world_axis]) / spacing[world_axis]
+    if not -0.5 <= coord <= n - 0.5:
+        raise ValueError(
+            f"slice position {position} outside the volume along {axis}"
+        )
+    coord = float(np.clip(coord, 0.0, n - 1))
+    i0 = int(np.floor(coord))
+    i1 = min(i0 + 1, n - 1)
+    return i0, i1, coord - i0
+
+
 def axis_slice(
     volume: np.ndarray,
     axis: str,
@@ -31,17 +60,7 @@ def axis_slice(
     if vol.ndim != 3:
         raise ValueError("volume must be 3-D")
     vax = _AXES[axis]
-    world_axis = {"x": 0, "y": 1, "z": 2}[axis]
-    coord = (position - origin[world_axis]) / spacing[world_axis]
-    n = vol.shape[vax]
-    if not -0.5 <= coord <= n - 0.5:
-        raise ValueError(
-            f"slice position {position} outside the volume along {axis}"
-        )
-    coord = float(np.clip(coord, 0.0, n - 1))
-    i0 = int(np.floor(coord))
-    i1 = min(i0 + 1, n - 1)
-    t = coord - i0
+    i0, i1, t = slice_plan(vol.shape[vax], axis, position, origin, spacing)
     lo = np.take(vol, i0, axis=vax)
     hi = np.take(vol, i1, axis=vax)
     return (1.0 - t) * lo + t * hi

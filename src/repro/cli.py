@@ -75,6 +75,17 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _inject_compositing(config_xml: str, compositing: str) -> str:
+    """Force ``compositing=`` onto every catalyst analysis element."""
+    import xml.etree.ElementTree as ET
+
+    root = ET.fromstring(config_xml)
+    for el in root.iter("analysis"):
+        if el.get("type") == "catalyst":
+            el.set("compositing", compositing)
+    return ET.tostring(root, encoding="unicode")
+
+
 def cmd_run(args) -> int:
     from repro.insitu import Bridge
     from repro.nekrs import NekRSSolver
@@ -85,6 +96,8 @@ def cmd_run(args) -> int:
     config_xml = (
         Path(args.config).read_text() if args.config else "<sensei></sensei>"
     )
+    if args.compositing:
+        config_xml = _inject_compositing(config_xml, args.compositing)
     outdir = Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
 
@@ -282,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--config", help="SENSEI XML configuration file")
     run.add_argument("--output", default="repro_output")
     run.add_argument("--device", choices=("serial", "cuda-sim"), default="cuda-sim")
+    run.add_argument("--compositing",
+                     choices=("gather", "binary_swap", "direct_send"),
+                     default=None,
+                     help="override the parallel-rendering scheme of every "
+                          "catalyst analysis (sort-last depth compositing "
+                          "instead of gathering the volume to rank 0)")
     run.set_defaults(fn=cmd_run)
 
     render = sub.add_parser("render", help="posthoc-render a .fld checkpoint")
@@ -318,7 +337,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="use the smallest measurement workload")
     bench.add_argument("--gate", action="store_true",
-                       help="run the perf regression gate against BENCH_3.json")
+                       help="run the perf regression gate against BENCH_4.json "
+                            "(includes the compositing and collectives rows)")
     bench.add_argument("--update-baseline", action="store_true",
                        help="refresh the gate baselines with current timings")
     bench.set_defaults(fn=cmd_bench)

@@ -97,6 +97,7 @@ class TrafficEvent:
     nbytes: int      # payload bytes per participating message
     size: int        # communicator size at the time of the call
     channel: str     # caller-assigned channel label ("solver", "sst", ...)
+    rank: int = -1   # rank the bytes are attributed to (-1: unattributed)
 
 
 @dataclass
@@ -106,14 +107,30 @@ class TrafficMeter:
     The meter records *logical* payloads (what the application handed
     to the communicator); the machine model turns these into modeled
     wire time using per-operation cost formulas.
+
+    Attribution convention: point-to-point ``send`` events carry the
+    *sender's* rank and egress bytes; collective events are recorded by
+    **every participating rank** with the bytes that rank *receives*
+    (ingress).  Ingress accounting is implementation-independent — a
+    binomial-tree gather delivers the same logical bytes to the root as
+    a flat one — so optimized and reference collectives meter
+    identically, and ``peak_rank_bytes`` exposes the hot-spot rank
+    (e.g. the root of a gather-to-root rendering pipeline).
     """
 
     events: list[TrafficEvent] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def record(self, op: str, nbytes: int, size: int, channel: str = "default") -> None:
+    def record(
+        self,
+        op: str,
+        nbytes: int,
+        size: int,
+        channel: str = "default",
+        rank: int = -1,
+    ) -> None:
         with self._lock:
-            self.events.append(TrafficEvent(op, nbytes, size, channel))
+            self.events.append(TrafficEvent(op, nbytes, size, channel, rank))
 
     def total_bytes(self, channel: str | None = None) -> int:
         with self._lock:
@@ -131,6 +148,27 @@ class TrafficMeter:
             for e in self.events:
                 out[e.op] = out.get(e.op, 0) + e.nbytes
             return out
+
+    def per_rank_bytes(
+        self, op: str | None = None, channel: str | None = None
+    ) -> dict[int, int]:
+        """Bytes attributed to each rank, optionally filtered by op/channel."""
+        with self._lock:
+            out: dict[int, int] = {}
+            for e in self.events:
+                if op is not None and e.op != op:
+                    continue
+                if channel is not None and e.channel != channel:
+                    continue
+                out[e.rank] = out.get(e.rank, 0) + e.nbytes
+            return out
+
+    def peak_rank_bytes(
+        self, op: str | None = None, channel: str | None = None
+    ) -> int:
+        """Largest per-rank byte total — the congestion hot spot."""
+        per_rank = self.per_rank_bytes(op, channel)
+        return max(per_rank.values(), default=0)
 
     def clear(self) -> None:
         with self._lock:
@@ -166,40 +204,97 @@ class Communicator(abc.ABC):
     def recv(self, source: int, tag: int = 0): ...
 
     # -- collectives ---------------------------------------------------
+    #
+    # The public methods validate, dispatch to an ``_*_impl`` hook, and
+    # meter ingress bytes per rank (see TrafficMeter).  The base-class
+    # impls below route everything through ``_allgather_impl`` — the
+    # textbook-correct but O(N * payload) reference algorithms that
+    # ``naive_mode()`` equivalence tests compare the optimized tree
+    # collectives in ThreadCommunicator against.
+
     @abc.abstractmethod
     def barrier(self) -> None: ...
 
     @abc.abstractmethod
-    def allgather(self, obj) -> list: ...
+    def _allgather_impl(self, obj) -> list:
+        """Unmetered allgather primitive; public wrappers meter it."""
+
+    def _record(self, op: str, nbytes: int) -> None:
+        if self.size > 1:
+            self.meter.record(op, nbytes, self.size, self.channel, rank=self.rank)
+
+    def allgather(self, obj) -> list:
+        values = self._allgather_impl(obj)
+        self._record("allgather", sum(
+            payload_nbytes(v) for i, v in enumerate(values) if i != self.rank
+        ))
+        return values
 
     def bcast(self, obj, root: int = 0):
-        values = self.allgather(obj if self.rank == root else None)
-        return values[root]
+        out = self._bcast_impl(obj, root)
+        self._record("bcast", 0 if self.rank == root else payload_nbytes(out))
+        return out
+
+    def _bcast_impl(self, obj, root: int):
+        return self._allgather_impl(obj if self.rank == root else None)[root]
 
     def gather(self, obj, root: int = 0) -> list | None:
-        values = self.allgather(obj)
+        nbytes = payload_nbytes(obj)
+        values = self._gather_impl(obj, root)
+        if self.rank == root:
+            self._record("gather", sum(payload_nbytes(v) for v in values) - nbytes)
+        else:
+            self._record("gather", 0)
+        return values
+
+    def _gather_impl(self, obj, root: int) -> list | None:
+        values = self._allgather_impl(obj)
         return values if self.rank == root else None
 
     def scatter(self, objs, root: int = 0):
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError("scatter needs one object per rank at the root")
-        values = self.allgather(objs if self.rank == root else None)
+        out = self._scatter_impl(objs, root)
+        self._record("scatter", 0 if self.rank == root else payload_nbytes(out))
+        return out
+
+    def _scatter_impl(self, objs, root: int):
+        values = self._allgather_impl(objs if self.rank == root else None)
         return values[root][self.rank]
 
     def alltoall(self, objs) -> list:
         """Each rank provides a list of `size` objects; returns column `rank`."""
         if len(objs) != self.size:
             raise ValueError("alltoall needs one object per destination rank")
-        matrix = self.allgather(objs)
+        result = self._alltoall_impl(objs)
+        self._record("alltoall", sum(
+            payload_nbytes(v) for i, v in enumerate(result) if i != self.rank
+        ))
+        return result
+
+    def _alltoall_impl(self, objs) -> list:
+        matrix = self._allgather_impl(objs)
         return [row[self.rank] for row in matrix]
 
     def reduce(self, value, op: ReduceOp = ReduceOp.SUM, root: int = 0):
-        values = self.allgather(value)
+        nbytes = payload_nbytes(value)
+        out = self._reduce_impl(value, op, root)
+        if self.rank == root:
+            # the reduction logically moves every other contribution here
+            self._record("reduce", nbytes * (self.size - 1))
+        else:
+            self._record("reduce", 0)
+        return out
+
+    def _reduce_impl(self, value, op: ReduceOp, root: int):
+        values = self._allgather_impl(value)
         return _combine(op, values) if self.rank == root else None
 
     def allreduce(self, value, op: ReduceOp = ReduceOp.SUM):
-        return _combine(op, self.allgather(value))
+        out = _combine(op, self._allgather_impl(value))
+        self._record("allreduce", payload_nbytes(value) * (self.size - 1))
+        return out
 
     def allreduce_array(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
         """Elementwise allreduce of a NumPy array."""
@@ -251,7 +346,7 @@ class SerialCommunicator(Communicator):
     def barrier(self) -> None:
         return None
 
-    def allgather(self, obj) -> list:
+    def _allgather_impl(self, obj) -> list:
         return [obj]
 
     def split(self, color: int, key: int | None = None) -> "SerialCommunicator":

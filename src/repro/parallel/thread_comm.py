@@ -7,11 +7,36 @@ Each rank runs in its own thread; all ranks of a group share a
   slot-exchange protocol (write your slot -> barrier -> read all slots
   -> barrier), which is the textbook shared-memory allgather;
 - point-to-point messages travel through per-(src, dest, tag) queues
-  created lazily under a lock.
+  created lazily under a lock and swept (LRU, empty-only) by the
+  barrier action so the mailbox table stays bounded.
 
 Because NumPy releases the GIL for bulk array work, ranks overlap their
 compute phases for real, which is what lets instrumented runs measure
 realistic contention between solver and in situ phases.
+
+Collectives
+-----------
+``bcast``/``gather``/``scatter``/``reduce`` run on a **binomial tree**
+(log2(N) rounds instead of the O(N)-payload two-barrier allgather) and
+``alltoall`` as a **pairwise exchange** (N-1 shifted rounds, each rank
+moving only what its peers actually need).  Payloads are passed by
+reference between threads, so the trees are zero-copy for NumPy
+arrays; ``reduce`` additionally stacks array contributions into
+:class:`repro.perf.WorkspaceArena` scratch before combining.  The
+allgather-based base-class algorithms in
+:class:`repro.parallel.comm.Communicator` remain the reference: under
+:func:`repro.perf.naive_mode` every collective routes through them,
+which is what the parity suite in ``tests/test_collectives_parity.py``
+exploits.
+
+Tree collectives address peers by *virtual rank* ``(rank - root) %
+size`` so any root works; a non-root vrank ``v`` has parent
+``v - lowbit(v)`` and children ``v + m`` for each power of two
+``m < lowbit(v)``.  Internal messages travel through reserved negative
+tags (user tags are validated non-negative by ``send``/``recv``
+callers by convention) and are *not* metered as sends — each public
+collective records its own per-rank ingress bytes (see
+:class:`repro.parallel.comm.TrafficMeter`).
 """
 
 from __future__ import annotations
@@ -19,23 +44,44 @@ from __future__ import annotations
 import queue
 import threading
 
+import numpy as np
+
 from repro.faults.errors import RankStallError
+from repro.observe import get_telemetry
 from repro.parallel.comm import (
     Communicator,
+    ReduceOp,
     TrafficMeter,
+    _combine,
     payload_nbytes,
 )
+from repro.perf import config as perf_config
+
+#: reserved internal tags for tree-collective hops (distinct per op so
+#: overlapping collectives of different kinds can never cross wires;
+#: per-(src, dest, tag) FIFO ordering keeps back-to-back collectives of
+#: the *same* kind in order)
+_TAG_BCAST = -101
+_TAG_GATHER = -102
+_TAG_SCATTER = -103
+_TAG_REDUCE = -104
+_TAG_ALLTOALL = -105
 
 
 class _World:
     """Shared state for one thread-communicator group."""
+
+    #: soft cap on live mailbox queues; crossing it triggers an LRU
+    #: sweep of *empty* queues at the next barrier (safe point: every
+    #: rank is parked in ``Barrier.wait`` while the action runs)
+    mailbox_cap: int = 64
 
     def __init__(self, size: int, meter: TrafficMeter):
         if size < 1:
             raise ValueError(f"communicator size must be >= 1, got {size}")
         self.size = size
         self.meter = meter
-        self.barrier = threading.Barrier(size)
+        self.barrier = threading.Barrier(size, action=self._sweep_mailboxes)
         self.slots: list = [None] * size
         self.mailbox_lock = threading.Lock()
         self.mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
@@ -46,10 +92,29 @@ class _World:
     def mailbox(self, src: int, dest: int, tag: int) -> queue.Queue:
         key = (src, dest, tag)
         with self.mailbox_lock:
-            q = self.mailboxes.get(key)
+            q = self.mailboxes.pop(key, None)
             if q is None:
-                q = self.mailboxes[key] = queue.Queue()
+                q = queue.Queue()
+            # reinsert at the end: dict order doubles as LRU recency
+            self.mailboxes[key] = q
             return q
+
+    def _sweep_mailboxes(self) -> None:
+        """Barrier action: drop cold empty queues once over the cap.
+
+        Runs in exactly one thread while all `size` ranks are blocked
+        inside ``Barrier.wait`` — no rank can be mid-``send``/``recv``
+        (they would not have reached the barrier), so removing an empty
+        queue cannot lose a message.
+        """
+        if len(self.mailboxes) <= self.mailbox_cap:
+            return
+        with self.mailbox_lock:
+            for key in list(self.mailboxes):
+                if len(self.mailboxes) <= self.mailbox_cap:
+                    break
+                if self.mailboxes[key].empty():
+                    del self.mailboxes[key]
 
 
 class ThreadCommunicator(Communicator):
@@ -102,12 +167,21 @@ class ThreadCommunicator(Communicator):
             raise ValueError(f"dest {dest} out of range")
         if dest == self._rank:
             raise ValueError("send to self would deadlock a blocking recv pair")
-        self.meter.record("send", payload_nbytes(obj), self.size, self.channel)
-        self._world.mailbox(self._rank, dest, tag).put(obj)
+        self.meter.record(
+            "send", payload_nbytes(obj), self.size, self.channel, rank=self._rank
+        )
+        self._put(obj, dest, tag)
 
     def recv(self, source: int, tag: int = 0):
         if not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range")
+        return self._take(source, tag)
+
+    def _put(self, obj, dest: int, tag: int) -> None:
+        """Unmetered internal enqueue (collective hops meter themselves)."""
+        self._world.mailbox(self._rank, dest, tag).put(obj)
+
+    def _take(self, source: int, tag: int):
         try:
             return self._world.mailbox(source, self._rank, tag).get(
                 timeout=self.timeout
@@ -137,19 +211,150 @@ class ThreadCommunicator(Communicator):
                 detail="another rank likely raised, stalled, or deadlocked",
             ) from None
 
-    def allgather(self, obj) -> list:
+    def _allgather_impl(self, obj) -> list:
         world = self._world
         world.slots[self._rank] = obj
         self._wait(world.barrier)
         result = list(world.slots)
         self._wait(world.barrier)
-        if self._rank == 0:
-            self.meter.record(
-                "allgather",
-                sum(payload_nbytes(o) for o in result),
-                self.size,
-                self.channel,
+        return result
+
+    # -- binomial-tree collectives ---------------------------------------
+    #
+    # vrank = (rank - root) % size maps the tree onto any root.  lowbit
+    # of a non-root vrank names its parent (v - lowbit) and bounds its
+    # children (v + m, power-of-two m < lowbit); vrank 0 parents every
+    # power of two below the next power of two >= size.
+
+    def _tree_geometry(self, root: int) -> tuple[int, int]:
+        """(vrank, lowbit) for this rank in the binomial tree at `root`."""
+        vrank = (self._rank - root) % self.size
+        if vrank == 0:
+            peak = 1
+            while peak < self.size:
+                peak <<= 1
+            return 0, peak
+        return vrank, vrank & -vrank
+
+    def _bcast_impl(self, obj, root: int):
+        if self.size == 1 or not perf_config.enabled():
+            return super()._bcast_impl(obj, root)
+        size = self.size
+        vrank, lowbit = self._tree_geometry(root)
+        with get_telemetry().tracer.span("comm.bcast_tree", root=root):
+            if vrank:
+                obj = self._take((root + vrank - lowbit) % size, _TAG_BCAST)
+            m = lowbit >> 1
+            while m:
+                if vrank + m < size:
+                    self._put(obj, (root + vrank + m) % size, _TAG_BCAST)
+                m >>= 1
+        return obj
+
+    def _gather_refs(self, obj, root: int, tag: int) -> list | None:
+        """Binomial gather of raw references, vrank-ordered sublists.
+
+        Child subtrees span contiguous vrank ranges, so extending in
+        ascending child order keeps the bundle sorted; the root ends up
+        with ``sub[i]`` holding vrank ``i``'s contribution.
+        """
+        size = self.size
+        vrank, lowbit = self._tree_geometry(root)
+        sub = [obj]
+        m = 1
+        while m < lowbit and vrank + m < size:
+            sub.extend(self._take((root + vrank + m) % size, tag))
+            m <<= 1
+        if vrank:
+            self._put(sub, (root + vrank - lowbit) % size, tag)
+            return None
+        return sub
+
+    def _gather_impl(self, obj, root: int) -> list | None:
+        if self.size == 1 or not perf_config.enabled():
+            return super()._gather_impl(obj, root)
+        with get_telemetry().tracer.span("comm.gather_tree", root=root):
+            sub = self._gather_refs(obj, root, _TAG_GATHER)
+            if sub is None:
+                return None
+            # rotate from vrank order back to rank order
+            return [sub[(r - root) % self.size] for r in range(self.size)]
+
+    def _scatter_impl(self, objs, root: int):
+        if self.size == 1 or not perf_config.enabled():
+            return super()._scatter_impl(objs, root)
+        size = self.size
+        vrank, lowbit = self._tree_geometry(root)
+        with get_telemetry().tracer.span("comm.scatter_tree", root=root):
+            if self._rank == root:
+                bundle = [objs[(root + v) % size] for v in range(size)]
+            else:
+                bundle = self._take((root + vrank - lowbit) % size, _TAG_SCATTER)
+            m = lowbit >> 1
+            while m:
+                if vrank + m < size:
+                    self._put(bundle[m:], (root + vrank + m) % size, _TAG_SCATTER)
+                    bundle = bundle[:m]
+                m >>= 1
+        return bundle[0]
+
+    def _reduce_impl(self, value, op: ReduceOp, root: int):
+        if self.size == 1 or not perf_config.enabled():
+            return super()._reduce_impl(value, op, root)
+        with get_telemetry().tracer.span("comm.reduce_tree", root=root):
+            sub = self._gather_refs(value, root, _TAG_REDUCE)
+            if sub is None:
+                return None
+            # combine once at the root in *rank* order so the float
+            # summation order matches the allgather-based reference
+            # bit for bit
+            values = [sub[(r - root) % self.size] for r in range(self.size)]
+            return self._combine_fast(op, values)
+
+    def _combine_fast(self, op: ReduceOp, values):
+        """`_combine`, staging array stacks in arena scratch.
+
+        Mirrors ``np.stack(values).<op>(axis=0)`` exactly (same layout,
+        same reduction order) so results stay bitwise identical to the
+        reference; only the temporary stack avoids the allocator.
+        """
+        first = values[0]
+        if (
+            isinstance(first, np.ndarray)
+            and op in (ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX, ReduceOp.PROD)
+            and all(
+                isinstance(v, np.ndarray)
+                and v.shape == first.shape
+                and v.dtype == first.dtype
+                for v in values[1:]
             )
+        ):
+            from repro.perf.arena import get_arena
+
+            arena = get_arena()
+            with arena.scratch((len(values),) + first.shape, first.dtype) as stk:
+                np.stack(values, out=stk)
+                if op is ReduceOp.SUM:
+                    return stk.sum(axis=0)
+                if op is ReduceOp.MIN:
+                    return stk.min(axis=0)
+                if op is ReduceOp.MAX:
+                    return stk.max(axis=0)
+                return stk.prod(axis=0)
+        return _combine(op, values)
+
+    def _alltoall_impl(self, objs) -> list:
+        if self.size == 1 or not perf_config.enabled():
+            return super()._alltoall_impl(objs)
+        size, rank = self.size, self._rank
+        result = [None] * size
+        result[rank] = objs[rank]
+        with get_telemetry().tracer.span("comm.alltoall_pairwise"):
+            for shift in range(1, size):
+                dest = (rank + shift) % size
+                src = (rank - shift) % size
+                self._put(objs[dest], dest, _TAG_ALLTOALL)
+                result[src] = self._take(src, _TAG_ALLTOALL)
         return result
 
     # -- subgroups -----------------------------------------------------

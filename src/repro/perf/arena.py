@@ -102,6 +102,22 @@ class WorkspaceArena:
             self.borrowed_bytes -= arr.nbytes
             mem.free("perf.arena", arr.nbytes)
 
+    def adopt(self, *arrays: np.ndarray) -> None:
+        """Release borrowed arrays *without* pooling them.
+
+        For the rare buffer that legitimately escapes its borrowing
+        scope (e.g. a finished framebuffer handed to the PNG writer):
+        accounting ends here, but the memory stays with the caller, so
+        the pool can never hand out an aliased array.
+        """
+        if not config.enabled():
+            return
+        mem = get_telemetry().memory
+        for arr in arrays:
+            self.outstanding -= 1
+            self.borrowed_bytes -= arr.nbytes
+            mem.free("perf.arena", arr.nbytes)
+
     def scratch(self, shape, dtype=np.float64, n: int = 1) -> _Scratch:
         """Borrow `n` arrays for a with-block; released on exit.
 

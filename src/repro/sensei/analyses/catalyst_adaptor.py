@@ -32,17 +32,16 @@ from repro.vtkdata.arrays import DataArray
 from repro.vtkdata.dataset import ImageData
 
 
-def gather_uniform_volume(
-    comm: Communicator,
+def local_uniform_fragments(
     data: DataAdaptor,
     mesh_name: str,
     arrays: tuple[str, ...],
-) -> ImageData | None:
-    """Assemble the global uniform volume on rank 0 (None elsewhere).
+) -> tuple[tuple, np.ndarray, np.ndarray, list]:
+    """This rank's uniform-mesh fragments plus the global grid metadata.
 
-    Expects the mesh's metadata ``extra`` to carry ``global_dims``,
-    ``origin`` and ``spacing``, and its blocks to be ImageData
-    fragments whose origins locate them in the global grid.
+    Returns ``(global_dims, global_origin, global_spacing, fragments)``
+    with fragments as ``(origin, dims, {name: volume})`` — the unit of
+    work both the gather path and the sort-last compositor consume.
     """
     meta = None
     for i in range(data.get_number_of_meshes()):
@@ -70,7 +69,24 @@ def gather_uniform_volume(
             name: block.as_volume(name) for name in arrays
         }
         fragments.append((block.origin, block.dims, payload))
+    return gdims, gorigin, gspacing, fragments
 
+
+def gather_uniform_volume(
+    comm: Communicator,
+    data: DataAdaptor,
+    mesh_name: str,
+    arrays: tuple[str, ...],
+) -> ImageData | None:
+    """Assemble the global uniform volume on rank 0 (None elsewhere).
+
+    Expects the mesh's metadata ``extra`` to carry ``global_dims``,
+    ``origin`` and ``spacing``, and its blocks to be ImageData
+    fragments whose origins locate them in the global grid.
+    """
+    gdims, gorigin, gspacing, fragments = local_uniform_fragments(
+        data, mesh_name, arrays
+    )
     gathered = comm.gather(fragments)
     if not comm.is_root:
         return None
@@ -100,9 +116,26 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
         arrays: tuple[str, ...],
         mesh_name: str = "uniform",
         output_dir: Path | str = ".",
+        compositing: str = "gather",
     ):
+        if compositing not in ("gather", "binary_swap", "direct_send"):
+            raise ValueError(
+                f"compositing must be gather|binary_swap|direct_send, "
+                f"got {compositing!r}"
+            )
         self.comm = comm
-        self.render = render
+        if isinstance(render, RenderPipeline):
+            self.pipeline: RenderPipeline | None = render
+            self.render = render.render
+        else:
+            self.pipeline = None
+            self.render = render
+        if compositing != "gather" and self.pipeline is None:
+            raise ValueError(
+                "sort-last compositing requires a declarative RenderPipeline "
+                "(pythonscript pipelines render on the assembled volume only)"
+            )
+        self.compositing = compositing
         self.arrays = tuple(arrays)
         self.mesh_name = mesh_name
         self.output_dir = Path(output_dir)
@@ -122,7 +155,13 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
         """
         mesh_name = attrs.get("mesh", "uniform")
         pipeline_kind = attrs.get("pipeline", "builtin")
+        compositing = attrs.get("compositing", "gather")
         if pipeline_kind == "pythonscript":
+            if compositing != "gather":
+                raise ValueError(
+                    "compositing=... is only supported with the builtin "
+                    "pipeline; pythonscript renders the assembled volume"
+                )
             filename = attrs.get("filename")
             if not filename:
                 raise ValueError("pythonscript pipeline needs filename=...")
@@ -165,20 +204,65 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
             name=attrs.get("name", "catalyst"),
         )
         arrays = tuple(dict.fromkeys([array, color_array]))
-        return cls(comm, pipeline.render, arrays, mesh_name, output_dir)
+        return cls(
+            comm, pipeline, arrays, mesh_name, output_dir,
+            compositing=compositing,
+        )
 
     # -- execution -----------------------------------------------------------
     def execute(self, data: DataAdaptor) -> bool:
         step = data.get_data_time_step()
         time = data.get_data_time()
         tel = get_telemetry()
-        with self.watch.phase("gather"), tel.tracer.span("catalyst.gather", step=step):
-            image = gather_uniform_volume(self.comm, data, self.mesh_name, self.arrays)
-        if image is not None:
-            self.peak_staging_bytes = max(self.peak_staging_bytes, image.nbytes)
-            tel.memory.observe("catalyst.framebuffer", image.nbytes)
-            with self.watch.phase("render"), tel.tracer.span("catalyst.render", step=step):
-                outputs = self.render(image, step, time)
+        if self.compositing != "gather" and self.comm.size > 1:
+            # sort-last: render local fragments, composite framebuffers
+            from repro.catalyst.compositor import render_composited
+
+            with self.watch.phase("gather"), tel.tracer.span(
+                "catalyst.fragments", step=step
+            ):
+                gdims, gorigin, gspacing, fragments = local_uniform_fragments(
+                    data, self.mesh_name, self.arrays
+                )
+            local_bytes = sum(
+                vol.nbytes
+                for _origin, _dims, payload in fragments
+                for vol in payload.values()
+            )
+            self.peak_staging_bytes = max(self.peak_staging_bytes, local_bytes)
+            tel.memory.observe("catalyst.framebuffer", local_bytes)
+            with self.watch.phase("render"), tel.tracer.span(
+                "catalyst.render", step=step, compositing=self.compositing
+            ):
+                outputs = render_composited(
+                    self.comm,
+                    self.pipeline,
+                    fragments,
+                    gdims,
+                    gorigin,
+                    gspacing,
+                    step,
+                    time,
+                    method=self.compositing,
+                )
+        else:
+            with self.watch.phase("gather"), tel.tracer.span(
+                "catalyst.gather", step=step
+            ):
+                image = gather_uniform_volume(
+                    self.comm, data, self.mesh_name, self.arrays
+                )
+            outputs = None
+            if image is not None:
+                self.peak_staging_bytes = max(
+                    self.peak_staging_bytes, image.nbytes
+                )
+                tel.memory.observe("catalyst.framebuffer", image.nbytes)
+                with self.watch.phase("render"), tel.tracer.span(
+                    "catalyst.render", step=step
+                ):
+                    outputs = self.render(image, step, time)
+        if outputs is not None:
             self.output_dir.mkdir(parents=True, exist_ok=True)
             with self.watch.phase("write"), tel.tracer.span("catalyst.write", step=step):
                 written = 0

@@ -52,6 +52,36 @@ class TestRun:
         assert "cavity" in out
         assert (tmp_path / "out" / "histogram_pressure.txt").exists()
 
+    def test_inject_compositing_targets_catalyst_only(self):
+        from repro.cli import _inject_compositing
+
+        xml = (
+            '<sensei>'
+            '<analysis type="catalyst" array="pressure" isovalue="0.1"/>'
+            '<analysis type="histogram" array="pressure" bins="4"/>'
+            '</sensei>'
+        )
+        out = _inject_compositing(xml, "binary_swap")
+        assert out.count('compositing="binary_swap"') == 1
+        assert 'type="histogram" array="pressure" bins="4" compositing' not in out
+
+    def test_run_with_compositing_flag(self, tmp_path, capsys):
+        config = tmp_path / "sensei.xml"
+        config.write_text(
+            '<sensei><analysis type="catalyst" mesh="uniform" '
+            'array="velocity_magnitude" isovalue="0.2" slice_axis="y" '
+            'width="64" height="64" frequency="2"/></sensei>'
+        )
+        rc = main([
+            "run", "--case", "cavity", "--ranks", "2", "--steps", "2",
+            "--order", "3", "--config", str(config),
+            "--compositing", "binary_swap",
+            "--output", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        pngs = list((tmp_path / "out").glob("*.png"))
+        assert len(pngs) == 2  # surface + slice at step 2
+
     def test_run_with_par_override(self, tmp_path, capsys):
         par = tmp_path / "case.par"
         par.write_text("[GENERAL]\nnumSteps = 1\npolynomialOrder = 2\n")

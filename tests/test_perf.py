@@ -369,9 +369,9 @@ class TestGate:
             "repro.perf.gate.KERNELS", {"noop": lambda: (lambda: None)}
         )
         assert cli.main(["bench", "--gate"]) == 0
-        data = json.loads((tmp_path / "BENCH_3.json").read_text())
+        data = json.loads((tmp_path / "BENCH_4.json").read_text())
         data["kernels"]["noop"]["baseline_s"] = -1.0
-        (tmp_path / "BENCH_3.json").write_text(json.dumps(data))
+        (tmp_path / "BENCH_4.json").write_text(json.dumps(data))
         assert cli.main(["bench", "--gate"]) == 1
 
     def test_bench_requires_figure_or_gate(self):
