@@ -1,7 +1,7 @@
 """Perf-gate benchmarks: the gated kernels through ``run_gate``.
 
 These are the same kernels ``python -m repro bench --gate`` times
-against ``BENCH_4.json``; running them under pytest (marked ``perf``)
+against ``BENCH_5.json``; running them under pytest (marked ``perf``)
 wires the gate into the benchmark suite so a CI lane can fail on
 regressions without shelling out to the CLI.
 """
@@ -34,7 +34,7 @@ def test_gate_records_speedups_on_hot_kernels(tmp_path):
     """The headline kernels must beat their reference paths.
 
     Generous floor (1.2x, not the 2x the PR demonstrates) so a loaded
-    CI box doesn't flake; BENCH_4.json records the real margins.
+    CI box doesn't flake; BENCH_5.json records the real margins.
     """
     subset = {
         name: KERNELS[name]
@@ -50,7 +50,7 @@ def test_compositing_beats_gather_rendering_2x(tmp_path):
 
     The kernel returns machine-modeled seconds (slowest rank's CPU plus
     wire time for its metered ingress), so the margin is stable even on
-    a one-core container; the real margin recorded in BENCH_4.json is
+    a one-core container; the real margin recorded in BENCH_5.json is
     an order of magnitude above this floor.
     """
     report = run_gate(

@@ -14,7 +14,17 @@ import sys
 import time
 from pathlib import Path
 
-from repro.bench import ablations, fig2, fig3, fig5, fig6, robustness, storage, telemetry
+from repro.bench import (
+    ablations,
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    robustness,
+    serving,
+    storage,
+    telemetry,
+)
 from repro.bench.replay import predict_insitu_run
 from repro.bench.workloads import PB146_GRIDPOINTS, pb146_profiles
 from repro.machine import POLARIS
@@ -63,6 +73,9 @@ def build_report(quick: bool = True) -> str:
     parts.append(_section("Ablation — endpoint ratio", ablations.endpoint_ratio()))
     parts.append(_section("Robustness — fault-tolerant in transit",
                           robustness.fault_tolerance()))
+    serve_kwargs = dict(clients=64, frames=20, workers=4) if quick else {}
+    parts.append(_section("Serving — multi-client frame fan-out",
+                          serving.serving_table(**serve_kwargs)))
     parts.append(_section("Telemetry — per-phase time and memory HWM per mode",
                           telemetry.run(measure_kwargs=pb_kwargs)))
     parts.append("```\n" + telemetry.flame(measure_kwargs=pb_kwargs) + "\n```\n")

@@ -1,0 +1,218 @@
+"""Serving bench: hundreds of concurrent viewers against one FrameHub.
+
+The acceptance scenario for ``repro.serve``: a publisher streaming
+PNG frames into a :class:`~repro.serve.FrameHub` while a mixed client
+population consumes them over the loopback transport — fast clients
+that drain every frame, slow clients that wake rarely (the
+drop-to-latest path), and churning clients that disconnect and
+reconnect mid-run (reusing the :class:`~repro.faults.FaultInjector`
+so the churn schedule is reproducible).  Clients are multiplexed onto
+a small worker pool, the same way an async transport multiplexes
+sockets onto an event loop, so "500 concurrent clients" means 500
+live sessions, not 500 OS threads.
+
+Measured: delivery throughput, p50/p99 frame latency
+(delivery time minus ``Frame.published_at``), dropped / rate-limited
+frames, per-client fairness among the fast population, and — the
+invariant the hub exists for — **zero publisher stalls**: the
+simulation thread must never wait on a viewer.
+
+``python -m repro.bench.serving`` prints the table; the report driver
+embeds it as the "Serving" section, and ``python -m repro bench
+--gate`` times the fan-out path as the ``serving`` gate row.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.faults import FaultInjector
+from repro.serve import FrameHub
+from repro.util.png import encode_png
+from repro.util.sizes import format_bytes
+from repro.util.tables import Table
+
+
+def synthetic_frames(count: int = 8, size: int = 64, seed: int = 0) -> list[bytes]:
+    """A cycle of pre-encoded PNG payloads (distinct, realistic sizes)."""
+    rng = np.random.default_rng(seed)
+    frames = []
+    for i in range(count):
+        img = np.zeros((size, size, 3), dtype=np.uint8)
+        x = np.linspace(0, 4 * np.pi, size)
+        img[:, :, 0] = (127 + 120 * np.sin(x + i)).astype(np.uint8)[None, :]
+        img[:, :, 1] = rng.integers(0, 32, size=(size, size), dtype=np.uint8)
+        img[:, :, 2] = i * (255 // max(count - 1, 1))
+        frames.append(encode_png(img))
+    return frames
+
+
+def run_serving_load(
+    clients: int = 500,
+    frames: int = 60,
+    workers: int = 8,
+    slow_every: int = 5,
+    slow_fraction: float = 0.2,
+    churn_probability: float = 0.002,
+    seed: int = 11,
+    history: int = 32,
+    depth: int = 2,
+    payload_size: int = 64,
+    publish_interval_s: float = 0.002,
+) -> dict:
+    """Drive the hub with a mixed client population; return raw stats.
+
+    Client ``i`` is *slow* when ``i % int(1/slow_fraction) == 0`` — it
+    only drains its queue every ``slow_every``-th service round, so
+    backpressure must drop frames for it.  Churn fires per (round,
+    client) through a seeded :class:`FaultInjector`, making the
+    disconnect schedule identical run to run.
+    """
+    if clients < 1 or frames < 1:
+        raise ValueError("need at least one client and one frame")
+    hub = FrameHub(history=history, default_depth=depth)
+    injector = FaultInjector(
+        seed=seed, probabilities={"endpoint_crash": churn_probability}
+    )
+    payloads = synthetic_frames(size=payload_size, seed=seed)
+    slow_modulus = max(int(round(1.0 / slow_fraction)), 1) if slow_fraction > 0 else 0
+
+    def is_slow(cid: int) -> bool:
+        return slow_modulus > 0 and cid % slow_modulus == 0
+
+    sessions = {}
+    for cid in range(clients):
+        kind = "slow" if is_slow(cid) else "fast"
+        sessions[cid] = hub.connect(label=f"{kind}-{cid}")
+
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    done = threading.Event()
+    churn_events = 0
+    churn_lock = threading.Lock()
+    # stats of sessions retired by churn, so totals and fairness cover a
+    # client's whole lifetime, not just its latest reincarnation
+    retired: list = []
+
+    def publisher():
+        for i in range(frames):
+            hub.publish("catalyst", step=i, time=i * 1e-2,
+                        data=payloads[i % len(payloads)])
+            if publish_interval_s:
+                time.sleep(publish_interval_s)
+        done.set()
+
+    def worker(wid: int):
+        nonlocal churn_events
+        owned = [cid for cid in range(clients) if cid % workers == wid]
+        rnd = 0
+        local_lat = []
+        while True:
+            finished = done.is_set()
+            rnd += 1
+            for cid in owned:
+                session = sessions[cid]
+                if injector.fires("endpoint_crash", "serve.client", rnd, cid):
+                    # churn: this viewer drops and a new one takes its place
+                    hub.disconnect(session)
+                    sessions[cid] = hub.connect(label=session.label)
+                    with churn_lock:
+                        churn_events += 1
+                        retired.append((cid, session.stats))
+                    continue
+                if is_slow(cid) and rnd % slow_every and not finished:
+                    continue              # a slow viewer sleeps this round
+                for frame in session.drain():
+                    local_lat.append(time.perf_counter() - frame.published_at)
+            if finished and all(
+                sessions[cid].backlog == 0 for cid in owned
+            ):
+                break
+            time.sleep(0.001)
+        with latency_lock:
+            latencies.extend(local_lat)
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(workers)]
+    pub = threading.Thread(target=publisher)
+    for t in threads:
+        t.start()
+    pub.start()
+    pub.join()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+
+    stats = [sessions[cid].stats for cid in range(clients)]
+    stats.extend(s for _cid, s in retired)
+    per_client = [sessions[cid].stats.delivered for cid in range(clients)]
+    for cid, s in retired:
+        per_client[cid] += s.delivered
+    delivered = sum(s.delivered for s in stats)
+    lat = np.asarray(latencies) if latencies else np.zeros(1)
+    fast_counts = np.asarray(
+        [n for cid, n in enumerate(per_client) if not is_slow(cid)] or [0]
+    )
+    result = {
+        "clients": clients,
+        "peak_clients": hub.peak_clients,
+        "frames_published": hub.frames_published,
+        "stalls": hub.stalls,
+        "max_publish_ms": hub.max_publish_s * 1e3,
+        "elapsed_s": elapsed,
+        "delivered": delivered,
+        "throughput_fps": delivered / elapsed if elapsed > 0 else 0.0,
+        "bytes_out": sum(s.bytes_out for s in stats),
+        "dropped": sum(s.dropped for s in stats),
+        "rate_limited": sum(s.rate_limited for s in stats),
+        "latency_p50_ms": float(np.percentile(lat, 50)) * 1e3,
+        "latency_p99_ms": float(np.percentile(lat, 99)) * 1e3,
+        "fast_delivered_min": int(fast_counts.min()),
+        "fast_delivered_max": int(fast_counts.max()),
+        "fairness": float(fast_counts.min() / fast_counts.max())
+        if fast_counts.max() else 1.0,
+        "churn_events": churn_events,
+        "store": hub.store.stats(),
+    }
+    hub.close()
+    return result
+
+
+def serving_table(**kwargs) -> Table:
+    """The serving table: fan-out throughput, latency, backpressure."""
+    out = run_serving_load(**kwargs)
+    table = Table(
+        ["metric", "value"],
+        title=(
+            "Serving — multi-client frame fan-out "
+            f"({out['clients']} loopback clients, "
+            f"{out['frames_published']} frames published)"
+        ),
+    )
+    table.add_row(["delivered frames", out["delivered"]])
+    table.add_row(["throughput [frames/s]", f"{out['throughput_fps']:.0f}"])
+    table.add_row(["bytes out", format_bytes(out["bytes_out"])])
+    table.add_row(["latency p50 [ms]", out["latency_p50_ms"]])
+    table.add_row(["latency p99 [ms]", out["latency_p99_ms"]])
+    table.add_row(["dropped (backpressure)", out["dropped"]])
+    table.add_row(["rate limited", out["rate_limited"]])
+    table.add_row(
+        ["fairness (min/max fast-client frames)",
+         f"{out['fast_delivered_min']}/{out['fast_delivered_max']}"
+         f" = {out['fairness']:.2f}"]
+    )
+    table.add_row(["client churn events", out["churn_events"]])
+    table.add_row(["publisher stalls", out["stalls"]])
+    table.add_row(["max publish [ms]", out["max_publish_ms"]])
+    table.add_row(
+        ["frame store", format_bytes(out["store"]["payload_bytes"])
+         + f" held, {out['store']['frames_deduped']} dedup hits"]
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(serving_table().render())

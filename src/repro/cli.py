@@ -12,6 +12,10 @@ Subcommands:
     complement to the in situ pipeline).
 ``bench``
     Regenerate a paper figure/table.
+``serve``
+    Run a case with the live serving layer attached: frames stream to
+    connected clients while the simulation advances, and steering
+    commands flow back (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -237,6 +241,85 @@ def cmd_trace(args) -> int:
     return 0
 
 
+#: default serving pipeline: a colormapped slice of the case's most
+#: interesting array, rendered every step so the stream stays live
+_SERVE_XML = """\
+<sensei>
+  <analysis type="catalyst" array="{array}" slice_axis="y"
+            width="256" height="256" frequency="1" name="{name}"/>
+</sensei>
+"""
+
+
+def cmd_serve(args) -> int:
+    from repro.insitu import Bridge
+    from repro.nekrs import NekRSSolver
+    from repro.parallel import run_spmd
+    from repro.serve import (
+        FrameHub,
+        HttpFrameServer,
+        LoopbackClient,
+        SteeringBus,
+        attach_serving,
+    )
+
+    case = _build_case(args.case, args.steps, args.order, None)
+    if args.config:
+        config_xml = Path(args.config).read_text()
+    else:
+        config_xml = _SERVE_XML.format(
+            array="pressure" if args.case == "cavity" else "temperature",
+            name=case.name,
+        )
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    # hub and bus are shared-memory singletons across the rank threads,
+    # exactly like the SST broker in the in-transit topology
+    hub = FrameHub(history=args.history, max_clients=args.max_clients)
+    bus = SteeringBus()
+    server = None
+    client = None
+    if args.port is not None:
+        server = HttpFrameServer(hub, bus, port=args.port)
+        port = server.start()
+        print(f"serving on http://127.0.0.1:{port}")
+        print("  GET /status, /frame/<stream>, /stream/<stream>, "
+              "/replay/<stream>; POST /steer")
+    else:
+        client = LoopbackClient(hub, bus, depth=args.history,
+                                label="cli-loopback")
+
+    def body(comm):
+        solver = NekRSSolver(case, comm)
+        bridge = Bridge(solver, config_xml=config_xml, output_dir=outdir)
+        attach_serving(bridge.analysis, hub, bus, comm=comm)
+        reports = solver.run(observer=bridge.observer)
+        bridge.finalize()
+        return {"steps": len(reports), "stopped": bridge.stop_requested}
+
+    try:
+        results = run_spmd(args.ranks, body)
+    finally:
+        if server is not None:
+            server.stop()
+    print(
+        f"case {case.name}: {results[0]['steps']} steps"
+        + (" (stopped by steering)" if results[0]["stopped"] else "")
+    )
+    if client is not None:
+        client.drain()
+        print(f"loopback client received {len(client.frames)} frames "
+              f"(steps {client.steps[:3]}...{client.steps[-3:]})"
+              if client.frames else "loopback client received 0 frames")
+        client.close()
+    stats = hub.stats()
+    print(f"hub: {stats['frames_published']} frames published, "
+          f"peak {stats['peak_clients']} client(s), {stats['stalls']} stalls")
+    hub.close()
+    return 0
+
+
 def cmd_bench(args) -> int:
     import importlib
 
@@ -330,6 +413,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--output", default="trace_output")
     trace.set_defaults(fn=cmd_trace)
 
+    serve = sub.add_parser(
+        "serve", help="run a case with live frame streaming and steering"
+    )
+    serve.add_argument("--case", choices=_CASES, default="cavity")
+    serve.add_argument("--ranks", type=int, default=2)
+    serve.add_argument("--steps", type=int, default=None)
+    serve.add_argument("--order", type=int, default=None)
+    serve.add_argument("--config", help="SENSEI XML configuration file "
+                       "(default: a single catalyst slice pipeline)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve HTTP on this port (0 picks a free one); "
+                            "omit for in-process loopback mode")
+    serve.add_argument("--history", type=int, default=32,
+                       help="frames kept per stream for /replay")
+    serve.add_argument("--max-clients", type=int, default=None,
+                       help="refuse connections beyond this many clients")
+    serve.add_argument("--output", default="serve_output")
+    serve.set_defaults(fn=cmd_serve)
+
     bench = sub.add_parser(
         "bench", help="regenerate a paper figure/table, or run the perf gate"
     )
@@ -337,7 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="use the smallest measurement workload")
     bench.add_argument("--gate", action="store_true",
-                       help="run the perf regression gate against BENCH_4.json "
+                       help="run the perf regression gate against BENCH_5.json "
                             "(includes the compositing and collectives rows)")
     bench.add_argument("--update-baseline", action="store_true",
                        help="refresh the gate baselines with current timings")

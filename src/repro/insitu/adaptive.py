@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.parallel.comm import Communicator, ReduceOp
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.analyses.steering import record_trip
 from repro.sensei.data_adaptor import DataAdaptor
 
 
@@ -85,7 +86,9 @@ class AdaptiveTrigger(AnalysisAdaptor):
         if fire:
             self._reference = current.copy()
             self._since_fired = 0
-            self.fired_steps.append(data.get_data_time_step())
+            step = data.get_data_time_step()
+            self.fired_steps.append(step)
+            record_trip(self.comm, "trigger", step, monitor=self.monitor_array)
             return self.child.execute(data)
         self._since_fired += 1
         self.suppressed += 1

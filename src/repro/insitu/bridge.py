@@ -148,9 +148,14 @@ class Bridge:
         )
         self.fallback_bytes += nbytes
 
-    def observer(self, solver: NekRSSolver, report: StepReport) -> None:
-        """Adapter for ``NekRSSolver.run(observer=...)``."""
-        self.update(report.step, report.time)
+    def observer(self, solver: NekRSSolver, report: StepReport) -> bool:
+        """Adapter for ``NekRSSolver.run(observer=...)``.
+
+        Propagates the analyses' keep-going verdict, so a stop request
+        (guard trip, steering command) halts the solver loop at this
+        step boundary on every rank.
+        """
+        return self.update(report.step, report.time)
 
     def finalize(self) -> None:
         with self.watch.phase("finalize"):

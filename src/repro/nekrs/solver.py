@@ -529,15 +529,18 @@ class NekRSSolver:
         """Advance `num_steps` (default: the case's) steps.
 
         `observer(solver, report)` is called after every step — this is
-        the hook the SENSEI bridge attaches to.
+        the hook the SENSEI bridge attaches to.  An observer returning
+        ``False`` (SENSEI's stop protocol: a guard tripped, or a
+        steering client commanded stop) halts the run at that step
+        boundary; any other return value keeps stepping.
         """
         n = self.case.num_steps if num_steps is None else num_steps
         reports = []
         for _ in range(n):
             report = self.step()
             reports.append(report)
-            if observer is not None:
-                observer(self, report)
+            if observer is not None and observer(self, report) is False:
+                break
         return reports
 
     # ------------------------------------------------------------------

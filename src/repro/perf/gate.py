@@ -3,7 +3,7 @@
 Runs the gated microbenchmarks twice — optimized and, via
 ``repro.perf.naive_mode``, on the retained reference paths — then
 compares the optimized timings against the committed baseline in
-``BENCH_4.json``.  A kernel that regresses more than
+``BENCH_5.json``.  A kernel that regresses more than
 ``THRESHOLD - 1`` (20%) against its recorded baseline fails the gate.
 
 The file keeps three numbers per kernel so the history stays honest:
@@ -32,7 +32,7 @@ from repro.perf.plans import get_plan_cache
 
 SCHEMA = "repro-bench-gate/1"
 THRESHOLD = 1.2
-BASELINE_FILE = "BENCH_4.json"
+BASELINE_FILE = "BENCH_5.json"
 
 
 # -- gated kernel workloads ---------------------------------------------
@@ -249,6 +249,29 @@ def _kernel_compositing():
     return lambda: _spmd_seconds(body, nranks, modeled=True)
 
 
+def _kernel_serving():
+    from repro.bench.serving import synthetic_frames
+    from repro.serve import FrameHub
+
+    # frame fan-out to a standing client population.  Optimized shares
+    # one interned payload across the store and every session; the
+    # reference path copies per client and scans the ring for dupes —
+    # the dispatch lives inside FrameStore.put / FrameHub.publish.
+    payloads = synthetic_frames(count=8, size=96)
+    nclients, nframes = 48, 80
+
+    def run():
+        hub = FrameHub(history=16, default_depth=4)
+        for i in range(nclients):
+            hub.connect(label=f"gate-{i}")
+        for i in range(nframes):
+            hub.publish("gate", step=i, time=i * 1e-2,
+                        data=payloads[i % len(payloads)])
+        hub.close()
+
+    return run
+
+
 KERNELS = {
     "gather_scatter_setup": _kernel_gather_scatter_setup,
     "stiffness_apply": _kernel_stiffness_apply,
@@ -258,6 +281,7 @@ KERNELS = {
     "marshal_roundtrip": _kernel_marshal_roundtrip,
     "collectives": _kernel_collectives,
     "compositing": _kernel_compositing,
+    "serving": _kernel_serving,
 }
 
 
@@ -339,7 +363,7 @@ def run_gate(
 ) -> GateReport:
     """Measure the gated kernels and compare against the baseline file.
 
-    Writes the refreshed ``BENCH_4.json`` (new kernels adopt their
+    Writes the refreshed ``BENCH_5.json`` (new kernels adopt their
     current timing as baseline; existing baselines are preserved unless
     `update_baseline`).
     """

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
-
 from repro.catalyst.pipeline import RenderPipeline, RenderSpec
 from repro.insitu.adaptor import NekDataAdaptor
 from repro.nekrs.config import CaseDefinition
@@ -19,7 +17,8 @@ from repro.nekrs.solver import NekRSSolver
 from repro.parallel import SerialCommunicator
 from repro.posthoc.series import FldSeries
 from repro.sensei.analyses.catalyst_adaptor import gather_uniform_volume
-from repro.util.png import write_png
+from repro.util.apng import ApngWriter
+from repro.util.png import encode_png
 
 _FIELD_TARGETS = (
     "velocity_x", "velocity_y", "velocity_z", "pressure", "temperature",
@@ -61,7 +60,10 @@ def render_series(
     output_dir.mkdir(parents=True, exist_ok=True)
 
     frames: list[Path] = []
-    animation_frames: dict[str, list[np.ndarray]] = {}
+    # one self-playing animated PNG per output stream, built
+    # incrementally from the once-encoded frame bytes — the series
+    # never lives in memory twice
+    writers: dict[str, ApngWriter] = {}
     for header, fields in series.iter_loaded():
         for name, arr in fields.items():
             target = {
@@ -78,17 +80,22 @@ def render_series(
         adaptor.set_data_time(header.time)
         image = gather_uniform_volume(comm, adaptor, "uniform", tuple(arrays))
         for name, frame in pipeline.render(image, header.step, header.time):
+            data = encode_png(frame)
             path = output_dir / f"{name}_{header.step:06d}.png"
-            write_png(path, frame)
+            path.write_bytes(data)
             frames.append(path)
-            animation_frames.setdefault(name, []).append(frame)
+            writer = writers.get(name)
+            if writer is None:
+                writer = writers[name] = ApngWriter(
+                    output_dir / f"{name}.apng", delay_ms=frame_delay_ms
+                )
+            writer.add_encoded(data)
 
-    # one self-playing animated PNG per output stream
-    from repro.util.apng import write_apng
-
-    for name, sequence in animation_frames.items():
-        if len(sequence) > 1:
-            path = output_dir / f"{name}.apng"
-            write_apng(path, sequence, delay_ms=frame_delay_ms)
+    for name, writer in writers.items():
+        path = output_dir / f"{name}.apng"
+        writer.close()
+        if writer.frames > 1:
             frames.append(path)
+        else:
+            path.unlink()  # a single frame is not an animation
     return frames

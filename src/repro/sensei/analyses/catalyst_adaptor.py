@@ -26,7 +26,7 @@ from repro.observe.session import get_telemetry
 from repro.parallel.comm import Communicator
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.data_adaptor import DataAdaptor
-from repro.util.png import write_png
+from repro.util.png import encode_png
 from repro.util.timing import StopWatch
 from repro.vtkdata.arrays import DataArray
 from repro.vtkdata.dataset import ImageData
@@ -143,6 +143,11 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
         self.images_written = 0
         self.image_bytes = 0
         self.peak_staging_bytes = 0
+        #: optional live-serving hook, ``publisher(name, step, time,
+        #: png_bytes)`` — called with the *exact* bytes written to disk
+        #: (encode-once), so streamed frames are byte-identical to the
+        #: files.  Set by :func:`repro.serve.attach_serving`.
+        self.publisher = None
 
     # -- construction -----------------------------------------------------
     @classmethod
@@ -267,9 +272,13 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
             with self.watch.phase("write"), tel.tracer.span("catalyst.write", step=step):
                 written = 0
                 for name, rgb in outputs:
+                    data = encode_png(rgb)
                     path = self.output_dir / f"{name}_{step:06d}.png"
-                    written += write_png(path, rgb)
+                    path.write_bytes(data)
+                    written += len(data)
                     self.images_written += 1
+                    if self.publisher is not None:
+                        self.publisher(name, step, time, data)
                 self.image_bytes += written
             if tel.enabled:
                 tel.metrics.counter(

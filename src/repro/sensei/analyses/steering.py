@@ -15,9 +15,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observe.session import get_telemetry
 from repro.parallel.comm import Communicator, ReduceOp
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.data_adaptor import DataAdaptor
+
+#: reasons a steering guard/trigger can fire, used as the counter label
+TRIP_REASONS = ("nan", "runaway_norm", "steady", "trigger")
+
+
+def record_trip(comm: Communicator, reason: str, step: int, **extra) -> None:
+    """Record a steering trip in telemetry: an instant on every rank
+    (so per-rank traces show where the decision landed) and a
+    ``repro_steering_trips_<reason>_total`` counter on rank 0 only (so
+    aggregated metrics count each collective decision once)."""
+    if reason not in TRIP_REASONS:
+        raise ValueError(f"reason must be one of {TRIP_REASONS}, got {reason!r}")
+    tel = get_telemetry()
+    if not tel.enabled:
+        return
+    tel.tracer.instant("steering.trip", reason=reason, step=step, **extra)
+    if comm.is_root:
+        tel.metrics.counter(
+            f"repro_steering_trips_{reason}_total",
+            f"Steering trips with reason {reason!r}",
+        ).inc()
 
 
 class DivergenceGuard(AnalysisAdaptor):
@@ -54,6 +76,13 @@ class DivergenceGuard(AnalysisAdaptor):
         any_bad = self.comm.allreduce(local_bad, ReduceOp.LOR)
         if any_bad or worst > self.limit:
             self.tripped_at = data.get_data_time_step()
+            record_trip(
+                self.comm,
+                "nan" if any_bad else "runaway_norm",
+                self.tripped_at,
+                array=self.array_name,
+                worst=worst,
+            )
             return False
         return True
 
@@ -111,6 +140,10 @@ class SteadyStateDetector(AnalysisAdaptor):
             if self._quiet >= self.patience:
                 self.converged_at = data.get_data_time_step()
                 self._previous = current.copy()
+                record_trip(
+                    self.comm, "steady", self.converged_at,
+                    array=self.array_name, change=change,
+                )
                 return False
         self._previous = current.copy()
         return True

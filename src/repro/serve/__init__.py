@@ -1,0 +1,54 @@
+"""``repro.serve`` — the live in situ visualization service.
+
+The paper's pipeline renders frames to disk; this package turns it
+into a *service*: the Catalyst adaptor publishes each composited frame
+(PNG bytes + step/time metadata) into a :class:`FrameHub`, which fans
+out to any number of concurrently connected clients with per-client
+rate limiting and drop-to-latest backpressure — slow clients skip
+frames, they never stall the simulation (the consumer-side analog of
+the SST ``Discard`` policy).  A :class:`SteeringBus` carries client
+commands (pause/resume/stop, contour value, colormap, camera orbit)
+back into the run, applied collectively at step boundaries.  Two
+transports speak to the hub: a deterministic in-process loopback and a
+dependency-free ``asyncio`` HTTP server (MJPEG-style multipart PNG
+streams, JSON status, APNG replay of the history ring).
+
+Layering::
+
+    CatalystAnalysisAdaptor --publisher--> FrameHub -- Session x N
+                                             |            |
+         SteeringEndpoint <-- SteeringBus <--+-- LoopbackClient
+                 |                           +-- HttpFrameServer
+         RenderPipeline params                      (asyncio)
+
+Load-test it with :mod:`repro.bench.serving`; run it with
+``python -m repro serve``.  See ``docs/serving.md``.
+"""
+
+from repro.serve.framestore import Frame, FrameStore
+from repro.serve.hub import FrameHub, HubFull
+from repro.serve.service import attach_serving
+from repro.serve.session import Session, SessionStats
+from repro.serve.steering import (
+    STEER_KINDS,
+    SteerCommand,
+    SteeringBus,
+    SteeringEndpoint,
+)
+from repro.serve.transport import HttpFrameServer, LoopbackClient
+
+__all__ = [
+    "Frame",
+    "FrameStore",
+    "FrameHub",
+    "HubFull",
+    "Session",
+    "SessionStats",
+    "SteerCommand",
+    "SteeringBus",
+    "SteeringEndpoint",
+    "STEER_KINDS",
+    "LoopbackClient",
+    "HttpFrameServer",
+    "attach_serving",
+]

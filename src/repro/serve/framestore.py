@@ -1,0 +1,164 @@
+"""Frame storage for the in situ service: latest slots, history, dedup.
+
+The hub publishes one :class:`Frame` per rendered output stream (the
+"pipeline" name the Catalyst adaptor writes, e.g. ``catalyst_surface``).
+A :class:`FrameStore` keeps, per stream,
+
+- a *latest-frame slot* — what a newly connected client sees first and
+  what ``GET /frame/<stream>`` serves,
+- a bounded *history ring* — the replay window ``GET /replay/<stream>``
+  packs into an APNG,
+- *content-hash dedup* — a quiescent flow renders the same pixels step
+  after step; identical PNG payloads are interned once and shared by
+  every Frame that references them (the ``repro.perf`` naive mode
+  retains the copy-per-frame reference path for the gate's
+  before/after measurement).
+
+The store charges its unique payload bytes to the
+:class:`~repro.observe.memory.MemoryMeter` under ``serve.framestore``,
+so ``python -m repro trace`` runs show the serving window next to the
+solver and staging categories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.observe.session import get_telemetry
+from repro.perf import config as perf_config
+
+__all__ = ["Frame", "FrameStore"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One published frame: PNG bytes plus step/time/stream metadata."""
+
+    stream: str        # output stream name, e.g. "catalyst_surface"
+    step: int
+    time: float
+    data: bytes        # encoded PNG, byte-identical to the on-disk file
+    digest: str        # content hash of `data`
+    seq: int           # hub-wide publish sequence number
+    published_at: float = 0.0   # perf_counter timestamp at publish
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+def content_digest(data: bytes) -> str:
+    """Stable content hash used for frame dedup."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+@dataclass
+class _Interned:
+    data: bytes
+    refs: int = 0
+
+
+class FrameStore:
+    """Thread-safe per-stream latest slot + bounded history ring."""
+
+    def __init__(self, history: int = 32):
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.history = history
+        self._latest: dict[str, Frame] = {}
+        self._rings: dict[str, deque[Frame]] = {}
+        self._interned: dict[str, _Interned] = {}
+        self._lock = threading.Lock()
+        self.frames_stored = 0
+        self.frames_deduped = 0
+
+    # -- writing -----------------------------------------------------------
+    def put(
+        self, stream: str, step: int, time: float, data: bytes,
+        seq: int, published_at: float = 0.0,
+    ) -> Frame:
+        """Store one frame; returns the (possibly payload-shared) Frame."""
+        digest = content_digest(data)
+        with self._lock:
+            if perf_config.enabled():
+                slot = self._interned.get(digest)
+                if slot is None:
+                    slot = self._interned[digest] = _Interned(bytes(data))
+                else:
+                    self.frames_deduped += 1
+                slot.refs += 1
+                payload = slot.data
+            else:
+                # reference path: every frame owns a private copy and the
+                # ring is scanned linearly for duplicates (counted only);
+                # bytearray round-trip forces the copy even for bytes input
+                payload = bytes(bytearray(data))
+                for old in self._rings.get(stream, ()):
+                    if old.data == payload:
+                        self.frames_deduped += 1
+                        break
+            frame = Frame(
+                stream=stream, step=step, time=time, data=payload,
+                digest=digest, seq=seq, published_at=published_at,
+            )
+            ring = self._rings.get(stream)
+            if ring is None:
+                ring = self._rings[stream] = deque()
+            ring.append(frame)
+            if len(ring) > self.history:
+                self._release(ring.popleft())
+            self._latest[stream] = frame
+            self.frames_stored += 1
+            total = self._payload_bytes_locked()
+        get_telemetry().memory.observe("serve.framestore", total)
+        return frame
+
+    def _release(self, frame: Frame) -> None:
+        slot = self._interned.get(frame.digest)
+        if slot is not None and slot.data is frame.data:
+            slot.refs -= 1
+            if slot.refs <= 0:
+                del self._interned[frame.digest]
+
+    # -- reading -----------------------------------------------------------
+    def latest(self, stream: str) -> Frame | None:
+        with self._lock:
+            return self._latest.get(stream)
+
+    def frames(self, stream: str) -> list[Frame]:
+        """The history ring for `stream`, oldest first."""
+        with self._lock:
+            return list(self._rings.get(stream, ()))
+
+    def streams(self) -> list[str]:
+        with self._lock:
+            return sorted(self._rings)
+
+    def _payload_bytes_locked(self) -> int:
+        total = sum(len(s.data) for s in self._interned.values())
+        for ring in self._rings.values():
+            for f in ring:
+                slot = self._interned.get(f.digest)
+                if slot is None or slot.data is not f.data:
+                    total += f.nbytes     # naive-mode private copy
+        return total
+
+    @property
+    def payload_bytes(self) -> int:
+        """Unique payload bytes currently held (dedup-aware)."""
+        with self._lock:
+            return self._payload_bytes_locked()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "streams": sorted(self._rings),
+                "frames_stored": self.frames_stored,
+                "frames_deduped": self.frames_deduped,
+                "payload_bytes": self._payload_bytes_locked(),
+                "history": self.history,
+                "ring_depth": {s: len(r) for s, r in self._rings.items()},
+            }

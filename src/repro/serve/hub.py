@@ -1,0 +1,201 @@
+"""The frame hub: publish once, fan out to every connected client.
+
+The :class:`FrameHub` sits between the Catalyst adaptor (which calls
+:meth:`FrameHub.publish` from rank 0's simulation thread — the
+``publisher`` hook) and any number of client sessions.  Publishing is
+strictly non-blocking: the frame is stored (latest slot + history ring
++ dedup, see :mod:`repro.serve.framestore`) and *offered* to each
+session, whose drop-to-latest queue absorbs slow consumers.  The hub
+therefore never stalls the simulation — the invariant the serving
+bench's "zero hub stalls" row pins down.
+
+Fan-out shares one interned payload across all sessions; the
+``repro.perf`` naive mode retains the copy-per-client reference path so
+``python -m repro bench --gate`` measures the before/after honestly
+(the ``serving`` gate row).
+
+Telemetry: every publish runs under a ``serve.publish`` span and
+maintains ``repro_serve_*`` metrics (clients gauge, frames published /
+sent / dropped, bytes out); the store charges ``serve.framestore`` to
+the memory meter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import replace
+
+from repro.observe.session import get_telemetry
+from repro.perf import config as perf_config
+from repro.serve.framestore import Frame, FrameStore
+from repro.serve.session import Session
+
+__all__ = ["FrameHub", "HubFull"]
+
+
+class HubFull(RuntimeError):
+    """Raised when connect() would exceed the hub's client budget."""
+
+
+class FrameHub:
+    """Multi-client frame fan-out with per-session backpressure."""
+
+    def __init__(
+        self,
+        history: int = 32,
+        default_depth: int = 2,
+        max_clients: int | None = None,
+        clock=_time.perf_counter,
+        stall_threshold_s: float = 0.25,
+    ):
+        self.store = FrameStore(history)
+        self.default_depth = default_depth
+        self.max_clients = max_clients
+        self._clock = clock
+        self._sessions: dict[int, Session] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._next_sid = 0
+        self.closed = False
+        #: a "stall" is a publish() that took suspiciously long — with
+        #: non-blocking offers this should never fire; the bench asserts 0
+        self.stall_threshold_s = stall_threshold_s
+        self.stalls = 0
+        self.max_publish_s = 0.0
+        self.frames_published = 0
+        self.peak_clients = 0
+
+    # -- client lifecycle --------------------------------------------------
+    def connect(
+        self,
+        streams: tuple[str, ...] | None = None,
+        depth: int | None = None,
+        max_fps: float | None = None,
+        label: str = "",
+    ) -> Session:
+        """Register a new client session (raises :class:`HubFull`)."""
+        tel = get_telemetry()
+        with self._lock:
+            if self.closed:
+                raise HubFull("hub is closed")
+            if self.max_clients is not None and len(self._sessions) >= self.max_clients:
+                raise HubFull(
+                    f"hub at max_clients={self.max_clients}; connection refused"
+                )
+            sid = self._next_sid
+            self._next_sid += 1
+            session = Session(
+                sid,
+                streams=streams,
+                depth=depth if depth is not None else self.default_depth,
+                max_fps=max_fps,
+                label=label,
+                clock=self._clock,
+                on_delivered=self._on_delivered,
+            )
+            self._sessions[sid] = session
+            count = len(self._sessions)
+            self.peak_clients = max(self.peak_clients, count)
+        if tel.enabled:
+            tel.metrics.gauge(
+                "repro_serve_clients", "Connected serving clients", agg="max"
+            ).set(count)
+            tel.tracer.instant("serve.connect", sid=sid, label=session.label)
+        return session
+
+    def disconnect(self, session: Session) -> None:
+        session.close()
+        with self._lock:
+            self._sessions.pop(session.sid, None)
+            count = len(self._sessions)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.gauge(
+                "repro_serve_clients", "Connected serving clients", agg="max"
+            ).set(count)
+            tel.tracer.instant("serve.disconnect", sid=session.sid)
+
+    def _on_delivered(self, frame: Frame) -> None:
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_serve_frames_sent_total", "Frames delivered to clients"
+            ).inc()
+            tel.metrics.counter(
+                "repro_serve_bytes_out_total", "Frame payload bytes delivered"
+            ).inc(frame.nbytes)
+
+    # -- publishing --------------------------------------------------------
+    def publish(self, stream: str, step: int, time: float, data: bytes) -> Frame:
+        """Store + fan out one frame.  Non-blocking; the publisher hook.
+
+        Signature matches the Catalyst adaptor's ``publisher`` callback:
+        ``publisher(name, step, time, png_bytes)``.
+        """
+        tel = get_telemetry()
+        t0 = self._clock()
+        with tel.tracer.span("serve.publish", stream=stream, step=step):
+            with self._lock:
+                seq = self._seq
+                self._seq += 1
+                sessions = list(self._sessions.values())
+            frame = self.store.put(stream, step, time, data, seq, published_at=t0)
+            dropped_before = sum(s.stats.dropped for s in sessions)
+            share = perf_config.enabled()
+            for session in sessions:
+                # bytes(frame.data) would be a no-op (immutable); round-trip
+                # through bytearray to force a genuine per-client copy
+                session.offer(
+                    frame
+                    if share
+                    else replace(frame, data=bytes(bytearray(frame.data)))
+                )
+            dropped = sum(s.stats.dropped for s in sessions) - dropped_before
+        elapsed = self._clock() - t0
+        self.max_publish_s = max(self.max_publish_s, elapsed)
+        if elapsed > self.stall_threshold_s:
+            self.stalls += 1
+        self.frames_published += 1
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_serve_frames_published_total", "Frames published to the hub"
+            ).inc()
+            if dropped:
+                tel.metrics.counter(
+                    "repro_serve_frames_dropped_total",
+                    "Frames evicted by drop-to-latest backpressure",
+                ).inc(dropped)
+        return frame
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def clients(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def sessions(self) -> list[Session]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return {
+            "clients": len(sessions),
+            "peak_clients": self.peak_clients,
+            "frames_published": self.frames_published,
+            "stalls": self.stalls,
+            "max_publish_ms": self.max_publish_s * 1e3,
+            "store": self.store.stats(),
+            "sessions": {s.label: s.stats.as_dict() for s in sessions},
+        }
+
+    def close(self) -> None:
+        """Close every session; publishes become no-ops for clients."""
+        with self._lock:
+            self.closed = True
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()

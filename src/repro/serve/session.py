@@ -1,0 +1,174 @@
+"""Client sessions: rate limiting and drop-to-latest backpressure.
+
+A :class:`Session` is one connected client's view of the hub,
+transport-agnostic: the in-process loopback, the HTTP stream handler,
+and the load generator all consume the same object.
+
+Backpressure is *drop-to-latest*, mirroring ADIOS2 SST's ``Discard``
+queue policy on the consumer side: the publisher never blocks on a
+client.  Each session owns a small bounded queue; when a new frame
+arrives and the queue is full, the **oldest** pending frame is dropped,
+so a slow client always converges on the most recent state and sees a
+strictly increasing subsequence of steps — it skips frames, it never
+stalls the hub or receives them out of order.
+
+Per-client rate limiting (``max_fps``) gates *enqueue*: frames arriving
+faster than the budget are parked in a single deferred slot (newest
+wins) and promoted once the interval elapses, so a throttled client
+still tracks the latest state at its own pace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serve.framestore import Frame
+
+__all__ = ["Session", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Delivery accounting for one client."""
+
+    offered: int = 0            # frames the hub presented to this session
+    delivered: int = 0          # frames the client actually took
+    dropped: int = 0            # evicted by backpressure (queue full)
+    rate_limited: int = 0       # superseded while parked in the deferred slot
+    bytes_out: int = 0          # payload bytes delivered
+    steps: list = field(default_factory=list)   # steps delivered, in order
+
+    def as_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "rate_limited": self.rate_limited,
+            "bytes_out": self.bytes_out,
+        }
+
+
+class Session:
+    """One client's bounded frame queue with drop-to-latest semantics."""
+
+    def __init__(
+        self,
+        sid: int,
+        streams: tuple[str, ...] | None = None,
+        depth: int = 2,
+        max_fps: float | None = None,
+        label: str = "",
+        clock=_time.perf_counter,
+        on_delivered=None,
+    ):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if max_fps is not None and max_fps <= 0:
+            raise ValueError("max_fps must be positive")
+        self.sid = sid
+        self.streams = tuple(streams) if streams else None
+        self.depth = depth
+        self.label = label or f"client-{sid}"
+        self._min_interval = (1.0 / max_fps) if max_fps else 0.0
+        self._clock = clock
+        self._pending: deque[Frame] = deque()
+        self._deferred: Frame | None = None
+        self._last_enqueue = -float("inf")
+        self._cond = threading.Condition()
+        self._on_delivered = on_delivered
+        self.closed = False
+        self.stats = SessionStats()
+
+    # -- publisher side ----------------------------------------------------
+    def wants(self, stream: str) -> bool:
+        return self.streams is None or stream in self.streams
+
+    def offer(self, frame: Frame) -> bool:
+        """Present a frame; never blocks.  Returns False once closed."""
+        with self._cond:
+            if self.closed:
+                return False
+            if not self.wants(frame.stream):
+                return True
+            self.stats.offered += 1
+            now = self._clock()
+            if self._min_interval and (
+                now - self._last_enqueue < self._min_interval
+            ):
+                if self._deferred is not None:
+                    self.stats.rate_limited += 1
+                self._deferred = frame     # newest wins
+                return True
+            self._enqueue(frame, now)
+            self._cond.notify_all()
+            return True
+
+    def _enqueue(self, frame: Frame, now: float) -> None:
+        if self._deferred is not None:
+            # superseded by the frame being enqueued right now
+            self.stats.rate_limited += 1
+            self._deferred = None
+        while len(self._pending) >= self.depth:
+            self._pending.popleft()       # drop-to-latest: oldest goes
+            self.stats.dropped += 1
+        self._pending.append(frame)
+        self._last_enqueue = now
+
+    # -- client side -------------------------------------------------------
+    def _promote_deferred_locked(self) -> None:
+        if self._deferred is None:
+            return
+        now = self._clock()
+        if now - self._last_enqueue >= self._min_interval:
+            frame, self._deferred = self._deferred, None
+            self._enqueue(frame, now)
+
+    def take(self, timeout: float | None = None, block: bool = True) -> Frame | None:
+        """Next pending frame, oldest first; None on timeout/close."""
+        deadline = None
+        if block and timeout is not None:
+            deadline = self._clock() + timeout
+        with self._cond:
+            while True:
+                self._promote_deferred_locked()
+                if self._pending:
+                    frame = self._pending.popleft()
+                    break
+                if self.closed or not block:
+                    return None
+                if deadline is None:
+                    self._cond.wait(0.1)
+                else:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return None
+                    # wake early enough to promote a deferred frame
+                    self._cond.wait(min(remaining, 0.05))
+            self.stats.delivered += 1
+            self.stats.bytes_out += frame.nbytes
+            self.stats.steps.append(frame.step)
+        if self._on_delivered is not None:
+            self._on_delivered(frame)
+        return frame
+
+    def drain(self) -> list[Frame]:
+        """Take every immediately available frame (non-blocking)."""
+        out = []
+        while True:
+            frame = self.take(block=False)
+            if frame is None:
+                return out
+            out.append(frame)
+
+    @property
+    def backlog(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def close(self) -> None:
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()

@@ -12,6 +12,7 @@ Override per test with ``@pytest.mark.timeout(seconds)``.
 from __future__ import annotations
 
 import faulthandler
+import sys
 
 import numpy as np
 import pytest
@@ -36,6 +37,24 @@ def pytest_runtest_call(item):
         yield
     finally:
         faulthandler.cancel_dump_traceback_later()
+
+
+@pytest.fixture(autouse=True)
+def _serve_event_loop_guard():
+    """No asyncio serving loop may outlive its test.
+
+    The HTTP frame server runs its event loop on a daemon thread; a
+    test that forgets to stop one would leak the loop (and its
+    executor threads) into every later test.  Only consults the
+    transport module when a test actually imported it, so the guard is
+    free for the rest of the suite.
+    """
+    yield
+    if "repro.serve.transport" in sys.modules:
+        from repro.serve import transport
+
+        leaked = transport.shutdown_all(timeout=5.0)
+        assert not leaked, f"serving event loops leaked by test: {leaked}"
 
 
 @pytest.fixture

@@ -1,0 +1,70 @@
+"""Serving load-generator acceptance: many clients, zero hub stalls.
+
+The headline acceptance row: the hub sustains >= 500 concurrent
+loopback clients (mixed fast/slow, seeded churn) without a single
+publish stall, and the bench reports latency percentiles and fairness.
+"""
+
+import pytest
+
+from repro.bench.serving import run_serving_load, serving_table, synthetic_frames
+
+pytestmark = pytest.mark.timeout(180)
+
+
+class TestSyntheticFrames:
+    def test_distinct_valid_pngs(self):
+        frames = synthetic_frames(count=4, size=16)
+        assert len(frames) == 4
+        assert len({f for f in frames}) == 4
+        assert all(f.startswith(b"\x89PNG\r\n\x1a\n") for f in frames)
+
+    def test_deterministic(self):
+        assert synthetic_frames(count=3, size=8, seed=5) == \
+            synthetic_frames(count=3, size=8, seed=5)
+
+
+class TestServingLoad:
+    def test_small_run_accounting(self):
+        out = run_serving_load(clients=16, frames=12, workers=4, seed=3)
+        assert out["clients"] == 16
+        assert out["frames_published"] == 12
+        assert out["stalls"] == 0
+        # every frame reached at least the fast clients
+        assert out["fast_delivered_min"] == 12
+        assert out["delivered"] > 0
+        assert out["latency_p99_ms"] >= out["latency_p50_ms"] >= 0.0
+
+    def test_slow_clients_drop_frames(self):
+        out = run_serving_load(clients=20, frames=30, workers=4,
+                               slow_fraction=0.5, seed=3)
+        assert out["dropped"] > 0           # backpressure engaged
+        assert out["stalls"] == 0           # ... without stalling publish
+
+    def test_churn_is_seeded_and_counted(self):
+        kw = dict(clients=32, frames=20, workers=4,
+                  churn_probability=0.05, seed=9)
+        a = run_serving_load(**kw)
+        b = run_serving_load(**kw)
+        assert a["churn_events"] > 0
+        assert a["churn_events"] == b["churn_events"]
+
+    def test_sustains_500_clients_with_zero_stalls(self):
+        """The acceptance criterion, verbatim: >= 500 concurrent
+        loopback clients, zero hub stalls, p99 latency reported."""
+        out = run_serving_load(clients=500, frames=40, workers=8, seed=11)
+        assert out["clients"] == 500
+        assert out["peak_clients"] >= 500
+        assert out["stalls"] == 0
+        assert out["max_publish_ms"] < 250.0
+        assert out["frames_published"] == 40
+        assert out["latency_p99_ms"] > 0.0
+        # fast clients must not be starved by slow/churning ones
+        assert out["fairness"] > 0.5
+        assert out["fast_delivered_min"] > 0
+
+    def test_table_renders(self):
+        table = serving_table(clients=24, frames=10, workers=4)
+        text = str(table)
+        assert "stalls" in text
+        assert "p99" in text

@@ -139,3 +139,40 @@ class TestRenderCommand:
                 "render", str(path), "--case", "cavity",
                 "--array", "pressure", "--output", str(tmp_path / "i"),
             ])
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.case == "cavity"
+        assert args.port is None          # loopback mode by default
+        assert args.history == 32
+        assert args.max_clients is None
+
+    def test_loopback_smoke(self, tmp_path, capsys):
+        """`repro serve` without --port runs the case against an
+        in-process loopback viewer and reports the hub accounting."""
+        rc = main([
+            "serve", "--case", "cavity", "--ranks", "2", "--steps", "3",
+            "--order", "3", "--output", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "case cavity-re100: 3 steps" in out
+        assert "loopback client received 3 frames" in out
+        assert "3 frames published" in out
+        assert "0 stalls" in out
+
+    def test_http_smoke(self, tmp_path, capsys):
+        """`repro serve --port 0` binds an ephemeral HTTP port, runs,
+        and shuts the server down cleanly."""
+        rc = main([
+            "serve", "--case", "cavity", "--ranks", "1", "--steps", "2",
+            "--order", "3", "--port", "0",
+            "--output", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving on http://127.0.0.1:" in out
+        assert "POST /steer" in out
+        assert "case cavity-re100: 2 steps" in out

@@ -368,10 +368,12 @@ class TestGate:
         monkeypatch.setattr(
             "repro.perf.gate.KERNELS", {"noop": lambda: (lambda: None)}
         )
+        from repro.perf import gate
+
         assert cli.main(["bench", "--gate"]) == 0
-        data = json.loads((tmp_path / "BENCH_4.json").read_text())
+        data = json.loads((tmp_path / gate.BASELINE_FILE).read_text())
         data["kernels"]["noop"]["baseline_s"] = -1.0
-        (tmp_path / "BENCH_4.json").write_text(json.dumps(data))
+        (tmp_path / gate.BASELINE_FILE).write_text(json.dumps(data))
         assert cli.main(["bench", "--gate"]) == 1
 
     def test_bench_requires_figure_or_gate(self):
