@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time as _time
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
@@ -108,6 +109,9 @@ class SSTBroker:
 
     _SENTINEL = object()
 
+    #: how often a blocked get re-checks for broker close / writer death
+    _POLL_S = 0.02
+
     def __init__(
         self,
         num_writers: int,
@@ -135,10 +139,28 @@ class SSTBroker:
             # one ledger: injector decisions and stream accounting share it
             self.stats.faults = injector.log
         self.endpoint_down = threading.Event()
+        self.closed = threading.Event()
+        self._writer_down: list[threading.Event] = [
+            threading.Event() for _ in range(num_writers)
+        ]
 
     def mark_endpoint_down(self) -> None:
         """Declare the consumer side dead: writers fail fast from now on."""
         self.endpoint_down.set()
+
+    def mark_writer_down(self, writer_rank: int) -> None:
+        """Declare one producer dead: readers of its stream fail fast
+        (after draining whatever it already staged)."""
+        self._writer_down[writer_rank].set()
+
+    def close(self) -> None:
+        """Shut the broker down: every blocked or future get fails fast
+        with :class:`EndpointDownError` once its queue is drained,
+        instead of burning the full stream timeout."""
+        self.closed.set()
+
+    def _stream_dead(self, writer_rank: int) -> bool:
+        return self.closed.is_set() or self._writer_down[writer_rank].is_set()
 
     def put(
         self,
@@ -230,17 +252,78 @@ class SSTBroker:
                 tel.tracer.instant("fault.slow_consumer", step=step, writer=writer_rank)
                 inj.sleep(slow)
                 self.stats.faults.try_resolve("slow_consumer", "recovered")
-        try:
-            item = self.queues[writer_rank].get(
-                timeout=self.timeout if timeout is None else timeout
-            )
-        except queue.Empty:
-            raise StreamTimeout(
-                f"SST reader timed out waiting on writer {writer_rank}"
-            ) from None
+        # Wait in short slices so a broker close or producer death is
+        # noticed within _POLL_S, not after the full stream timeout —
+        # staged items are still drained before the stream fails.
+        deadline = _time.monotonic() + (self.timeout if timeout is None else timeout)
+        q = self.queues[writer_rank]
+        while True:
+            try:
+                item = q.get_nowait()
+                break
+            except queue.Empty:
+                pass
+            if self._stream_dead(writer_rank):
+                raise EndpointDownError(
+                    f"SST stream of writer {writer_rank} is down "
+                    f"({'broker closed' if self.closed.is_set() else 'producer dead'})"
+                )
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise StreamTimeout(
+                    f"SST reader timed out waiting on writer {writer_rank}"
+                ) from None
+            try:
+                item = q.get(timeout=min(self._POLL_S, remaining))
+                break
+            except queue.Empty:
+                continue
         if item is self._SENTINEL:
             raise EndOfStream
         if inj is not None:
+            corrupt = inj.maybe("corrupt_payload", "broker.get", step, key=writer_rank)
+            if corrupt is not None:
+                tel.tracer.instant("fault.corrupt_payload", step=step, writer=writer_rank)
+                item = inj.corrupt(item, corrupt)
+        self.stats.record_get(len(item), writer=writer_rank)
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_sst_steps_got_total", "Steps drained from the SST broker"
+            ).inc()
+            tel.metrics.counter(
+                "repro_sst_bytes_got_total", "Bytes drained from the SST broker"
+            ).inc(len(item))
+        return item
+
+    def try_get(self, writer_rank: int, step: int = -1) -> bytes | None:
+        """Non-blocking get for polling consumers (the endpoint fleet).
+
+        Returns the next staged payload, or ``None`` when the queue is
+        momentarily empty.  Raises :class:`EndOfStream` on the writer's
+        sentinel and :class:`EndpointDownError` when the stream is dead
+        (broker closed / producer marked down) *and* fully drained.
+        Fault hooks run only after a successful dequeue, so injection
+        probability is per delivered step, not per poll.
+        """
+        try:
+            item = self.queues[writer_rank].get_nowait()
+        except queue.Empty:
+            if self._stream_dead(writer_rank):
+                raise EndpointDownError(
+                    f"SST stream of writer {writer_rank} is down "
+                    f"({'broker closed' if self.closed.is_set() else 'producer dead'})"
+                ) from None
+            return None
+        if item is self._SENTINEL:
+            raise EndOfStream
+        tel = get_telemetry()
+        inj = self.injector
+        if inj is not None:
+            slow = inj.maybe("slow_consumer", "broker.get", step, key=writer_rank)
+            if slow is not None:
+                tel.tracer.instant("fault.slow_consumer", step=step, writer=writer_rank)
+                inj.sleep(slow)
+                self.stats.faults.try_resolve("slow_consumer", "recovered")
             corrupt = inj.maybe("corrupt_payload", "broker.get", step, key=writer_rank)
             if corrupt is not None:
                 tel.tracer.instant("fault.corrupt_payload", step=step, writer=writer_rank)

@@ -20,6 +20,7 @@ from repro.bench import (
     fig3,
     fig5,
     fig6,
+    fleet,
     robustness,
     serving,
     storage,
@@ -73,6 +74,10 @@ def build_report(quick: bool = True) -> str:
     parts.append(_section("Ablation — endpoint ratio", ablations.endpoint_ratio()))
     parts.append(_section("Robustness — fault-tolerant in transit",
                           robustness.fault_tolerance()))
+    parts.append(_section("Fleet — endpoint-loss recovery SLO",
+                          fleet.recovery_slo()))
+    parts.append(_section("Fleet — elastic weak scaling",
+                          fleet.weak_scaling()))
     serve_kwargs = dict(clients=64, frames=20, workers=4) if quick else {}
     parts.append(_section("Serving — multi-client frame fan-out",
                           serving.serving_table(**serve_kwargs)))

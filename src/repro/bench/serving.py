@@ -67,9 +67,11 @@ def run_serving_load(
 
     Client ``i`` is *slow* when ``i % int(1/slow_fraction) == 0`` — it
     only drains its queue every ``slow_every``-th service round, so
-    backpressure must drop frames for it.  Churn fires per (round,
-    client) through a seeded :class:`FaultInjector`, making the
-    disconnect schedule identical run to run.
+    backpressure must drop frames for it.  Churn fires per (frame,
+    client) through a seeded :class:`FaultInjector` — the draw sites
+    are the fixed ``frames x clients`` grid, never the timing-dependent
+    service-round count — so the disconnect schedule (and the churn
+    total) is identical run to run.
     """
     if clients < 1 or frames < 1:
         raise ValueError("need at least one client and one frame")
@@ -77,6 +79,13 @@ def run_serving_load(
     injector = FaultInjector(
         seed=seed, probabilities={"endpoint_crash": churn_probability}
     )
+    # precomputed churn schedule: client cid churns once frame f is out
+    churn_steps = {
+        cid: [f for f in range(frames)
+              if injector.fires("endpoint_crash", "serve.client", f, cid)]
+        for cid in range(clients)
+    }
+    churn_idx = {cid: 0 for cid in range(clients)}
     payloads = synthetic_frames(size=payload_size, seed=seed)
     slow_modulus = max(int(round(1.0 / slow_fraction)), 1) if slow_fraction > 0 else 0
 
@@ -115,13 +124,28 @@ def run_serving_load(
             rnd += 1
             for cid in owned:
                 session = sessions[cid]
-                if injector.fires("endpoint_crash", "serve.client", rnd, cid):
-                    # churn: this viewer drops and a new one takes its place
+                sched = churn_steps[cid]
+                i = churn_idx[cid]
+                churned = False
+                # churn: this viewer drops and a new one takes its place,
+                # once its scheduled frame is published (all of them once
+                # the publisher is done, so no scheduled churn is lost)
+                while i < len(sched) and (
+                    finished or sched[i] < hub.frames_published
+                ):
+                    for frame in session.drain():
+                        local_lat.append(
+                            time.perf_counter() - frame.published_at)
                     hub.disconnect(session)
                     sessions[cid] = hub.connect(label=session.label)
                     with churn_lock:
                         churn_events += 1
                         retired.append((cid, session.stats))
+                    session = sessions[cid]
+                    i += 1
+                    churned = True
+                churn_idx[cid] = i
+                if churned:
                     continue
                 if is_slow(cid) and rnd % slow_every and not finished:
                     continue              # a slow viewer sleeps this round

@@ -10,6 +10,11 @@ Subcommands:
 ``render``
     Posthoc-render a ``.fld`` checkpoint into PNG images (the offline
     complement to the in situ pipeline).
+``intransit``
+    Run the in transit topology: simulation ranks stream to SENSEI
+    endpoint ranks — a static split, or ``--fleet`` for the elastic
+    endpoint fleet (mid-run join/leave, rebalance, work stealing,
+    optional autoscaling).
 ``bench``
     Regenerate a paper figure/table.
 ``serve``
@@ -28,7 +33,7 @@ from repro.util.sizes import format_bytes
 
 _CASES = ("cavity", "pebble", "rbc")
 _FIGURES = ("fig2", "fig3", "fig5", "fig6", "storage", "ablations", "telemetry",
-            "report")
+            "fleet", "report")
 
 
 def _build_case(name: str, steps: int | None, order: int | None, par: str | None):
@@ -320,6 +325,70 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_intransit(args) -> int:
+    from repro.fleet import FleetConfig
+    from repro.insitu import InTransitRunner
+    from repro.nekrs.cases import weak_scaled_rbc_case
+    from repro.parallel import run_spmd
+
+    def case_builder(nsim):
+        case = weak_scaled_rbc_case(
+            nsim, elements_per_rank=args.elements, order=args.order
+        )
+        return case.with_overrides(num_steps=args.steps)
+
+    fleet = None
+    if args.fleet:
+        fleet = FleetConfig(
+            lease_timeout=args.lease_timeout,
+            initial_active=args.initial_active,
+            autoscale=args.autoscale,
+        )
+    runner = InTransitRunner(
+        case_builder,
+        mode=args.mode,
+        ratio=args.ratio,
+        num_steps=args.steps,
+        stream_interval=args.interval,
+        arrays=("temperature", "velocity_magnitude"),
+        output_dir=args.output,
+        image_size=args.size,
+        fleet=fleet,
+    )
+    results = run_spmd(args.ranks, runner.run)
+    sims = [r for r in results if r.role == "simulation"]
+    ends = [r for r in results if r.role == "endpoint"]
+    print(
+        f"in transit ({'fleet' if fleet else 'static split'}): "
+        f"{len(sims)} sim ranks + {len(ends)} endpoint ranks, mode={args.mode}"
+    )
+    for r in sims:
+        print(f"  sim {r.rank}: {r.steps} steps, "
+              f"streamed {format_bytes(r.stream_bytes)}")
+    for r in ends:
+        print(f"  endpoint {r.rank}: {r.steps} steps, "
+              f"received {format_bytes(r.stream_bytes)}, "
+              f"wrote {format_bytes(r.files_bytes)}")
+    coordinator = runner.last_coordinator
+    if coordinator is not None:
+        stats = coordinator.stats()
+        print(
+            f"fleet: epoch {stats['epoch']}, {stats['committed']} steps "
+            f"committed, {stats['stolen']} stolen, "
+            f"{stats['rebalances']} rebalance(s), "
+            f"{stats['crashes_detected']} crash(es) detected"
+        )
+        for rec in stats["recoveries"]:
+            kind = "planned" if rec["planned"] else "unplanned"
+            print(
+                f"  {kind} loss of endpoint {rec['eid']}: "
+                f"{rec['streams_moved']} stream(s) moved, "
+                f"{rec['tasks_requeued']} task(s) replayed in "
+                f"{rec['recovery_seconds']:.3f}s"
+            )
+    return 0
+
+
 def cmd_bench(args) -> int:
     import importlib
 
@@ -432,6 +501,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--output", default="serve_output")
     serve.set_defaults(fn=cmd_serve)
 
+    intransit = sub.add_parser(
+        "intransit",
+        help="run the in transit topology (static split or --fleet elastic)",
+    )
+    intransit.add_argument("--mode", choices=("checkpoint", "catalyst"),
+                           default="catalyst")
+    intransit.add_argument("--ranks", type=int, default=6)
+    intransit.add_argument("--ratio", type=int, default=2,
+                           help="sim ranks per endpoint rank (static split "
+                                "and fleet pool sizing)")
+    intransit.add_argument("--steps", type=int, default=4)
+    intransit.add_argument("--interval", type=int, default=1)
+    intransit.add_argument("--order", type=int, default=3)
+    intransit.add_argument("--elements", type=int, default=4,
+                           help="mesh elements per simulation rank")
+    intransit.add_argument("--size", type=int, default=128)
+    intransit.add_argument("--fleet", action="store_true",
+                           help="elastic endpoint fleet (join/leave, "
+                                "rebalance, work stealing) instead of the "
+                                "static block split")
+    intransit.add_argument("--lease-timeout", type=float, default=0.25,
+                           help="seconds without a heartbeat before an "
+                                "endpoint is declared dead")
+    intransit.add_argument("--initial-active", type=int, default=None,
+                           help="endpoints active at start (rest parked as "
+                                "autoscaler reserve)")
+    intransit.add_argument("--autoscale", action="store_true",
+                           help="let the queue-depth autoscaler vary the "
+                                "sim:endpoint ratio (2:1..16:1)")
+    intransit.add_argument("--output", default="intransit_output")
+    intransit.set_defaults(fn=cmd_intransit)
+
     bench = sub.add_parser(
         "bench", help="regenerate a paper figure/table, or run the perf gate"
     )
@@ -439,8 +540,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="use the smallest measurement workload")
     bench.add_argument("--gate", action="store_true",
-                       help="run the perf regression gate against BENCH_5.json "
-                            "(includes the compositing and collectives rows)")
+                       help="run the perf regression gate against BENCH_6.json "
+                            "(includes the compositing, collectives, and "
+                            "recovery rows)")
     bench.add_argument("--update-baseline", action="store_true",
                        help="refresh the gate baselines with current timings")
     bench.set_defaults(fn=cmd_bench)

@@ -136,9 +136,12 @@ class FaultInjector:
     """Seeded, per-site fault decisions plus the shared :class:`FaultLog`.
 
     `probabilities` maps fault kind -> per-call firing probability;
-    `schedule` maps fault kind -> collection of step indices at which
-    the fault fires unconditionally (the deterministic "crash at step
-    k" form the robustness bench uses).  Both may be combined.
+    `schedule` maps fault kind -> collection of entries at which the
+    fault fires unconditionally — either bare step indices (``3``:
+    fire at step 3 for every key) or ``(step, key)`` pairs (``(3, 1)``:
+    fire at step 3 only for key 1 — "kill endpoint 1, and only 1, at
+    its third step", the form the fleet recovery tests use).  Both may
+    be combined with probabilities.
     """
 
     def __init__(
@@ -170,7 +173,8 @@ class FaultInjector:
         """Would `kind` fire here?  Pure function of (seed, args)."""
         if kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r}")
-        if step in self.schedule.get(kind, ()):
+        scheduled = self.schedule.get(kind, ())
+        if step in scheduled or (step, key) in scheduled:
             return True
         prob = self.probabilities.get(kind, 0.0)
         if prob <= 0.0:

@@ -3,13 +3,20 @@
 The seed's transport did single-shot blocking operations: one
 ``queue`` timeout and the whole SPMD world deadlocked or died.  A
 :class:`RetryPolicy` turns those into bounded retry loops — per
-attempt timeout, exponential backoff, seeded jitter — and converts
+attempt timeout, exponential backoff, seeded jitter, and an optional
+**total deadline** (``max_elapsed_s``) that caps the whole loop so a
+retry storm cannot outlive its caller's latency budget — and converts
 exhaustion into a typed :class:`~repro.faults.errors.EndpointDownError`
 that the degradation layer can catch.
 
 Jitter is derived from ``(seed, attempt)`` rather than global RNG
 state so a given policy produces the same backoff sequence every run
 (the same determinism contract as the injector).
+
+Every attempt increments ``repro_retry_attempts_total`` and every
+exhaustion ``repro_retry_exhausted_total`` through
+:func:`repro.observe.get_telemetry`, so retry pressure shows up next
+to the transport gauges it explains.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ class RetryPolicy:
     max_delay: float = 1.0
     jitter: float = 0.25           # +/- fraction of the backoff
     attempt_timeout: float | None = None  # per-attempt blocking timeout [s]
+    max_elapsed_s: float | None = None    # total deadline across attempts [s]
     seed: int = 0
 
     def __post_init__(self):
@@ -40,6 +48,8 @@ class RetryPolicy:
             raise ValueError("delays must be >= 0")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if self.max_elapsed_s is not None and self.max_elapsed_s <= 0:
+            raise ValueError("max_elapsed_s must be > 0")
 
     def backoff(self, attempt: int) -> float:
         """Sleep before retry number `attempt` (1-based, deterministic)."""
@@ -62,21 +72,46 @@ class RetryPolicy:
 
         Exceptions in `retry_on` trigger backoff-and-retry (calling
         ``on_retry(attempt, exc)`` before each sleep); anything else
-        propagates immediately.  Exhaustion raises
-        :class:`EndpointDownError` chained to the last failure.
+        propagates immediately.  The budget is both `max_attempts` and,
+        when set, `max_elapsed_s` measured from the first attempt — a
+        retry whose backoff would land past the deadline is not taken.
+        Exhaustion raises :class:`EndpointDownError` chained to the
+        last failure.
         """
+        from repro.observe.session import get_telemetry
+
+        tel = get_telemetry()
+        started = time.monotonic()
+        deadline = (
+            None if self.max_elapsed_s is None else started + self.max_elapsed_s
+        )
         last: BaseException | None = None
+        exhausted_by = f"{self.max_attempts} attempts"
         for attempt in range(1, self.max_attempts + 1):
+            if tel.enabled:
+                tel.metrics.counter(
+                    "repro_retry_attempts_total",
+                    "Transport operation attempts made under a RetryPolicy",
+                ).inc()
             try:
                 return fn(attempt)
             except retry_on as exc:
                 last = exc
                 if attempt == self.max_attempts:
                     break
+                delay = self.backoff(attempt)
+                if deadline is not None and time.monotonic() + delay >= deadline:
+                    exhausted_by = f"deadline of {self.max_elapsed_s:g}s"
+                    break
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                time.sleep(self.backoff(attempt))
+                time.sleep(delay)
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_retry_exhausted_total",
+                "Retry loops that exhausted their attempt or deadline budget",
+            ).inc()
         raise EndpointDownError(
-            f"{describe} failed after {self.max_attempts} attempts "
-            f"(last error: {last})"
+            f"{describe} failed after {attempt} attempt(s), exhausting "
+            f"{exhausted_by} (last error: {last})"
         ) from last

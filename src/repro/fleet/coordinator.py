@@ -1,0 +1,467 @@
+"""FleetCoordinator: membership + routing + recovery for elastic endpoints.
+
+The coordinator is the shared-memory control plane of the elastic
+in-transit fleet (one instance per run, handed to every endpoint rank,
+exactly like the :class:`~repro.adios.engine.SSTBroker` it routes
+for).  It composes the fleet pieces:
+
+- **membership** — heartbeat leases (:mod:`repro.fleet.membership`);
+  an endpoint that stops polling is declared dead when its lease
+  lapses, with no dedicated monitor thread;
+- **routing** — producer streams (writer ranks) are assigned to
+  endpoints through a consistent-hash ring
+  (:mod:`repro.fleet.ring`), so membership changes move only the
+  departed member's streams (bounded disruption);
+- **assembly** — ingested payloads are CRC-checked (``RBP2``) and
+  grouped by simulation step; a step whose every live writer has
+  delivered (or provably never will: later step seen, or stream
+  ended) becomes a :class:`~repro.fleet.work.RenderTask`;
+- **work stealing** — idle endpoints steal queued render steps from
+  the hottest peer (:class:`~repro.fleet.work.WorkQueues`);
+- **recovery** — a dead endpoint's queued *and in-flight* tasks are
+  requeued to survivors (replay from the retained CRC-checked
+  payloads), its streams rebalance, and the injected
+  ``endpoint_crash`` resolves as ``recovered`` in the
+  :class:`~repro.faults.injector.FaultLog`; planned scale-down reuses
+  the same retirement path without the fault accounting;
+- **autoscaling** — a queue-depth-driven
+  :class:`~repro.fleet.autoscaler.Autoscaler` activates parked
+  endpoints or parks active ones, keeping the sim:endpoint ratio
+  inside its 2:1..16:1 clamp.
+
+Delivery is at-least-once: a "dead" endpoint that was merely slow may
+still commit a task that has already been requeued.  Sinks are
+idempotent per step (same file bytes rewritten), and the committed-step
+ledger deduplicates, so the zero-lost-committed-steps invariant the
+acceptance tests assert is unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.adios.engine import EndOfStream, SSTBroker
+from repro.adios.marshal import unmarshal_step
+from repro.faults.errors import CorruptPayloadError, EndpointDownError
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.membership import EndpointState, FleetMembership
+from repro.fleet.ring import HashRing
+from repro.fleet.work import RenderTask, WorkQueues
+from repro.observe.session import get_telemetry
+
+
+class Directive(Enum):
+    """Non-task poll outcomes."""
+
+    IDLE = "idle"       # nothing to do right now; poll again
+    PARK = "park"       # endpoint is parked (autoscaler reserve)
+    STOP = "stop"       # run complete; endpoint may finalize and exit
+
+
+@dataclass
+class RecoveryRecord:
+    """One endpoint loss and the replay that healed it."""
+
+    eid: int
+    planned: bool
+    detected_at: float
+    streams_moved: int
+    tasks_requeued: int
+    steps_backlogged: int
+    commits_at_detect: int
+    completed_at: float | None = None
+    commits_at_complete: int | None = None
+    _pending: set = field(default_factory=set, repr=False)
+    _pending_steps: set = field(default_factory=set, repr=False)
+
+    @property
+    def recovery_seconds(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.detected_at
+
+    @property
+    def steps_to_recover(self) -> int | None:
+        """Fleet-wide commits between detection and replay completion."""
+        if self.commits_at_complete is None:
+            return None
+        return self.commits_at_complete - self.commits_at_detect
+
+
+class FleetCoordinator:
+    """Control plane shared by every endpoint of one elastic fleet."""
+
+    def __init__(
+        self,
+        broker: SSTBroker,
+        num_writers: int,
+        pool_size: int,
+        initial_active: int | None = None,
+        lease_timeout: float = 0.25,
+        seed: int = 0,
+        autoscaler: Autoscaler | None = None,
+        autoscale_every: int = 8,
+        clock=time.monotonic,
+    ):
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if initial_active is not None and not 1 <= initial_active <= pool_size:
+            raise ValueError("initial_active must be in [1, pool_size]")
+        self.broker = broker
+        self.num_writers = num_writers
+        self.pool = tuple(range(pool_size))
+        self.initial_active = pool_size if initial_active is None else initial_active
+        self.clock = clock
+        self.membership = FleetMembership(lease_timeout, clock=clock)
+        self.ring = HashRing(seed=seed)
+        self.queues = WorkQueues(self.pool)
+        self.autoscaler = autoscaler
+        self.autoscale_every = autoscale_every
+        self._lock = threading.RLock()
+        # per-writer stream progress
+        self._got: dict[int, int] = {}           # delivered payload ordinal
+        self._highwater: dict[int, int] = {}     # newest sim step seen
+        self._ended: set[int] = set()
+        self._geometry: dict[int, object] = {}   # writer -> first payload
+        # step assembly + ledgers
+        self._assembly: dict[int, dict] = {}     # sim step -> {writer: payload}
+        self.assembled: set[int] = set()
+        self.committed: set[int] = set()
+        self.commits = 0
+        self.corrupt_steps = 0
+        self._inflight: dict[int, list[RenderTask]] = {}
+        # recovery bookkeeping
+        self.recoveries: list[RecoveryRecord] = []
+        self.rebalances = 0
+        self.crashes_detected = 0
+        self.planned_retirements = 0
+        self._ticks = 0
+
+    # -- membership entry points -------------------------------------------
+    def join(self, eid: int) -> None:
+        """Register an endpoint; the first `initial_active` ids run, the
+        rest park as the autoscaler's reserve."""
+        if eid not in self.pool:
+            raise ValueError(f"endpoint {eid} is not in the fleet pool")
+        with self._lock:
+            parked = eid >= self.initial_active
+            self.membership.register(eid, parked=parked)
+            if not parked:
+                self.ring.add(eid)
+
+    def depart(self, eid: int) -> None:
+        """Planned, graceful exit (end of run)."""
+        with self._lock:
+            if self.membership.state(eid) is EndpointState.ACTIVE:
+                self._retire(eid, planned=True)
+            self.membership.leave(eid)
+
+    # -- the endpoint's main call ------------------------------------------
+    def poll(self, eid: int):
+        """Heartbeat, reap, ingest, and hand out one unit of work.
+
+        Returns a :class:`RenderTask`, or a :class:`Directive`.
+        """
+        self.membership.heartbeat(eid)
+        self._reap(eid)
+        self._flush_if_abandoned(eid)
+        state = self.membership.state(eid)
+        if state in (EndpointState.DEAD, EndpointState.LEFT):
+            # a zombie: declared dead while merely slow.  Its work was
+            # requeued; let it exit instead of double-processing.
+            return Directive.STOP
+        if self.done():
+            return Directive.STOP
+        if state is EndpointState.PARKED:
+            return Directive.PARK
+        self._autoscale_tick()
+        if self.membership.state(eid) is not EndpointState.ACTIVE:
+            return Directive.PARK     # the tick just parked us
+        self._ingest(eid)
+        task = self.queues.pop(eid)
+        if task is None:
+            stolen = self.queues.steal(eid, candidates=self.membership.active_ids())
+            if stolen is not None:
+                task, victim = stolen
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.tracer.instant(
+                        "fleet.steal", thief=eid, victim=victim, step=task.step
+                    )
+                    tel.metrics.counter(
+                        "repro_fleet_steals_total",
+                        "Render steps stolen by idle endpoints",
+                    ).inc()
+        if task is None:
+            return Directive.IDLE
+        with self._lock:
+            self._inflight.setdefault(eid, []).append(task)
+        return task
+
+    def commit(self, eid: int, task: RenderTask) -> None:
+        """Mark a render task done (idempotent per step)."""
+        now = self.clock()
+        with self._lock:
+            inflight = self._inflight.get(eid, [])
+            if task in inflight:
+                inflight.remove(task)
+            self.committed.add(task.step)
+            self.commits += 1
+            for record in self.recoveries:
+                if record.completed_at is not None:
+                    continue
+                record._pending.discard(id(task))
+                record._pending_steps.discard(task.step)
+                if not record._pending and not record._pending_steps:
+                    record.completed_at = now
+                    record.commits_at_complete = self.commits
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "repro_fleet_commits_total", "Render steps committed by the fleet"
+            ).inc()
+
+    # -- geometry replay ----------------------------------------------------
+    def geometry(self, writer: int):
+        """Writer `writer`'s retained first-step (geometry) payload.
+
+        A stream that rebalances mid-run lands on an endpoint that
+        never saw its geometry step; the coordinator replays it from
+        this cache (the payload is CRC-checked ``RBP2`` data retained
+        verbatim from ingest).
+        """
+        with self._lock:
+            return self._geometry.get(writer)
+
+    # -- progress / completion ---------------------------------------------
+    def done(self) -> bool:
+        with self._lock:
+            return (
+                len(self._ended) == self.num_writers
+                and not self._assembly
+                and self.queues.total_depth() == 0
+                and not any(self._inflight.values())
+            )
+
+    def assignment(self) -> dict[int, int]:
+        """writer -> endpoint under the current ring membership."""
+        with self._lock:
+            if not len(self.ring):
+                return {}
+            return {
+                w: self.ring.assign(("writer", w))
+                for w in range(self.num_writers)
+            }
+
+    def staged_depth(self) -> int:
+        """Fleet-wide backlog: staged stream steps + queued render tasks."""
+        staged = sum(q.qsize() for q in self.broker.queues)
+        return staged + self.queues.total_depth()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "epoch": self.membership.epoch,
+                "active": len(self.membership.active_ids()),
+                "parked": len(self.membership.parked_ids()),
+                "dead": len(self.membership.dead_ids()),
+                "assembled": len(self.assembled),
+                "committed": len(self.committed),
+                "commits": self.commits,
+                "corrupt_steps": self.corrupt_steps,
+                "stolen": self.queues.stolen,
+                "rebalances": self.rebalances,
+                "crashes_detected": self.crashes_detected,
+                "planned_retirements": self.planned_retirements,
+                "recoveries": [
+                    {
+                        "eid": r.eid,
+                        "planned": r.planned,
+                        "streams_moved": r.streams_moved,
+                        "tasks_requeued": r.tasks_requeued,
+                        "steps_backlogged": r.steps_backlogged,
+                        "recovery_seconds": r.recovery_seconds,
+                        "steps_to_recover": r.steps_to_recover,
+                    }
+                    for r in self.recoveries
+                ],
+            }
+
+    # -- internals ----------------------------------------------------------
+    def _reap(self, reaper: int) -> None:
+        """Expire lapsed leases; retire the newly dead."""
+        for eid in self.membership.expire():
+            self._retire(eid, planned=False)
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.tracer.instant("fleet.endpoint_dead", endpoint=eid,
+                                   reaper=reaper)
+
+    def _flush_if_abandoned(self, eid: int) -> None:
+        """End all streams once the producer side has given up.
+
+        When every writer's retries exhausted (``mark_endpoint_down``),
+        the sim degrades its remaining steps locally and closes engines
+        *without* sentinels.  Treat drained streams as ended so pending
+        assemblies flush and ``done()`` can come true — otherwise the
+        fleet would poll forever.
+        """
+        if not self.broker.endpoint_down.is_set():
+            return
+        if not all(q.empty() for q in self.broker.queues):
+            return
+        with self._lock:
+            if len(self._ended) == self.num_writers:
+                return
+            self._ended = set(range(self.num_writers))
+            # `eid` may be parked, and parked queues are never stolen
+            # from — flush pending assemblies toward an active member
+            active = self.membership.active_ids()
+            self._complete_assemblies(active[0] if active else eid)
+
+    def _retire(self, eid: int, planned: bool) -> None:
+        """Remove `eid` from routing; requeue its work onto survivors.
+
+        Unplanned loss additionally requeues the in-flight tasks (the
+        member will never commit them) and records the recovery for the
+        SLO bench.  Planned retirement leaves in-flight tasks alone —
+        the member is alive and finishes what it holds.
+        """
+        with self._lock:
+            before = self.assignment()
+            self.ring.remove(eid)
+            orphans = self.queues.drain(eid)
+            if not planned:
+                orphans += self._inflight.pop(eid, [])
+            survivors = self.membership.active_ids()
+            survivors = tuple(s for s in survivors if s != eid)
+            if not survivors and self.membership.parked_ids():
+                # never strand work: promote the lowest parked member
+                promoted = self.membership.parked_ids()[0]
+                self.membership.activate(promoted)
+                self.ring.add(promoted)
+                survivors = (promoted,)
+            for task in orphans:
+                task.attempts += 1
+                if len(self.ring):
+                    self.queues.push(self.ring.assign(("task", task.step)), task)
+            moved = len(HashRing.moved(before, self.assignment()))
+            self.rebalances += 1
+            if planned:
+                self.planned_retirements += 1
+                return
+            self.crashes_detected += 1
+            # the recovery is complete once the replay drains: the
+            # requeued tasks commit AND every assembly that was stuck
+            # waiting on the dead member's streams at detection time
+            # commits (those steps can only proceed via the reroute)
+            record = RecoveryRecord(
+                eid=eid,
+                planned=planned,
+                detected_at=self.clock(),
+                streams_moved=moved,
+                tasks_requeued=len(orphans),
+                steps_backlogged=len(self._assembly),
+                commits_at_detect=self.commits,
+                _pending={id(t) for t in orphans},
+                _pending_steps=set(self._assembly),
+            )
+            if not record._pending and not record._pending_steps:
+                # nothing to replay: rerouting the streams IS the recovery
+                record.completed_at = record.detected_at
+                record.commits_at_complete = self.commits
+            self.recoveries.append(record)
+            self.broker.stats.faults.try_resolve("endpoint_crash", "recovered")
+
+    def _autoscale_tick(self) -> None:
+        if self.autoscaler is None:
+            return
+        with self._lock:
+            self._ticks += 1
+            if self._ticks % self.autoscale_every:
+                return
+            active = self.membership.active_ids()
+            parked = self.membership.parked_ids()
+            target = self.autoscaler.observe(
+                staged_steps=self.staged_depth(),
+                active=len(active),
+                pool_size=len(active) + len(parked),
+                stalls=self.broker.stats.faults.retries,
+            )
+            if target > len(active) and parked:
+                promoted = parked[0]
+                self.membership.activate(promoted)
+                self.ring.add(promoted)
+                self.rebalances += 1
+            elif target < len(active) and len(active) > 1:
+                victim = active[-1]
+                self._retire(victim, planned=True)
+                self.membership.park(victim)
+
+    def _ingest(self, eid: int) -> None:
+        """Drain the broker queues of every stream `eid` currently owns."""
+        owned = [
+            w for w, owner in self.assignment().items()
+            if owner == eid and w not in self._ended
+        ]
+        for w in owned:
+            while True:
+                with self._lock:
+                    ordinal = self._got.get(w, 0)
+                try:
+                    raw = self.broker.try_get(w, step=ordinal)
+                except EndOfStream:
+                    with self._lock:
+                        self._ended.add(w)
+                        self._complete_assemblies(eid)
+                    break
+                except EndpointDownError:
+                    # producer side died; whatever it staged was drained
+                    with self._lock:
+                        self._ended.add(w)
+                        self._complete_assemblies(eid)
+                    break
+                if raw is None:
+                    break
+                with self._lock:
+                    self._got[w] = ordinal + 1
+                try:
+                    payload = unmarshal_step(raw)
+                except CorruptPayloadError:
+                    self.broker.stats.record_corrupt()
+                    self.broker.stats.faults.try_resolve(
+                        "corrupt_payload", "detected"
+                    )
+                    with self._lock:
+                        self.corrupt_steps += 1
+                    continue
+                with self._lock:
+                    if payload.attributes.get("has_geometry") == "1":
+                        self._geometry.setdefault(w, payload)
+                    self._highwater[w] = max(
+                        self._highwater.get(w, -1), payload.step
+                    )
+                    self._assembly.setdefault(payload.step, {})[w] = payload
+                    self._complete_assemblies(eid)
+
+    def _complete_assemblies(self, completer: int) -> None:
+        """Promote every provably complete assembly to a render task.
+
+        A step is complete when every writer has delivered it, will
+        never deliver it (a newer step arrived on its FIFO stream, so
+        this one was dropped or corrupted), or has ended its stream.
+        Caller holds the lock.
+        """
+        for step in sorted(self._assembly):
+            ready = all(
+                w in self._ended or self._highwater.get(w, -1) >= step
+                for w in range(self.num_writers)
+            )
+            if not ready:
+                continue
+            payloads = self._assembly.pop(step)
+            self.assembled.add(step)
+            self.queues.push(completer, RenderTask(step=step, payloads=payloads))

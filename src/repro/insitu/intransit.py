@@ -25,6 +25,13 @@ from pathlib import Path
 from repro.adios.engine import SSTBroker, SSTReaderEngine, SSTWriterEngine, StepStatus
 from repro.faults.injector import FaultInjector
 from repro.faults.retry import RetryPolicy
+from repro.fleet import (
+    AnalysisSink,
+    Autoscaler,
+    FleetConfig,
+    FleetCoordinator,
+    FleetEndpoint,
+)
 from repro.insitu.adaptor import NekDataAdaptor
 from repro.insitu.bridge import Bridge
 from repro.insitu.streamed import StreamedDataAdaptor
@@ -34,6 +41,7 @@ from repro.observe.session import TelemetrySession, get_telemetry
 from repro.occa import Device
 from repro.parallel.comm import Communicator
 from repro.parallel.partition import block_range
+from repro.perf import config as perf_config
 from repro.sensei.analyses.catalyst_adaptor import CatalystAnalysisAdaptor
 from repro.sensei.analyses.adios_adaptor import ADIOSAnalysisAdaptor
 from repro.sensei.analyses.posthoc_io import VTKPosthocIO
@@ -87,6 +95,7 @@ class InTransitRunner:
         retry: RetryPolicy | None = None,
         fallback: str = "checkpoint",
         session: TelemetrySession | None = None,
+        fleet: FleetConfig | None = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -115,7 +124,13 @@ class InTransitRunner:
         self.retry = retry
         self.fallback = fallback
         self.session = session
+        self.fleet = fleet
+        # rank bodies run in fresh threads where the thread-local perf
+        # flag resets to enabled, so the naive_mode() dispatch decision
+        # is captured here, at construction (the gate's idiom)
+        self._use_fleet = fleet is not None and perf_config.enabled()
         self.last_broker: SSTBroker | None = None
+        self.last_coordinator: FleetCoordinator | None = None
 
     # -- layout -----------------------------------------------------------
     def split_counts(self, total_ranks: int) -> tuple[int, int]:
@@ -132,6 +147,7 @@ class InTransitRunner:
         is_sim = comm.rank < num_sim
 
         broker = None
+        coordinator = None
         if self.mode != "none":
             if comm.rank == 0:
                 broker = SSTBroker(
@@ -140,8 +156,13 @@ class InTransitRunner:
                     queue_full_policy=self.queue_full_policy,
                     injector=self.injector,
                 )
+                if self._use_fleet:
+                    coordinator = self._build_coordinator(broker, num_sim, num_end)
             broker = comm.bcast(broker, root=0)
             self.last_broker = broker
+            if self._use_fleet:
+                coordinator = comm.bcast(coordinator, root=0)
+                self.last_coordinator = coordinator
 
         sub = comm.split(0 if is_sim else 1)
         # telemetry tracks stay keyed by the *global* rank, so one
@@ -153,7 +174,30 @@ class InTransitRunner:
         with scope:
             if is_sim:
                 return self._run_simulation(sub, broker, num_sim)
+            if coordinator is not None:
+                return self._run_endpoint_fleet(sub, broker, coordinator)
             return self._run_endpoint(sub, broker, num_sim, num_end)
+
+    def _build_coordinator(
+        self, broker: SSTBroker, num_sim: int, num_end: int
+    ) -> FleetCoordinator:
+        cfg = self.fleet
+        autoscaler = (
+            Autoscaler(num_sim, cfg.autoscaler) if cfg.autoscale else None
+        )
+        initial = cfg.initial_active
+        if initial is not None:
+            initial = min(initial, num_end)
+        return FleetCoordinator(
+            broker,
+            num_writers=num_sim,
+            pool_size=num_end,
+            initial_active=initial,
+            lease_timeout=cfg.lease_timeout,
+            seed=cfg.seed,
+            autoscaler=autoscaler,
+            autoscale_every=cfg.autoscale_every,
+        )
 
     # -- simulation side ---------------------------------------------------
     def _run_simulation(
@@ -323,4 +367,57 @@ class InTransitRunner:
             result.files_bytes = analysis.image_bytes
             result.images = analysis.images_written
             result.memory_bytes += analysis.peak_staging_bytes
+        return result
+
+    def _run_endpoint_fleet(
+        self,
+        comm: Communicator,
+        broker: SSTBroker,
+        coordinator: FleetCoordinator,
+    ) -> InTransitResult:
+        """One elastic endpoint: poll the fleet coordinator for work.
+
+        Every endpoint renders through a private single-rank sink (no
+        collectives across the endpoint group), so membership changes
+        never strand a peer in a barrier.  Output files are keyed by
+        (step, block) / (name, step) only — byte-identical to the
+        static ``_run_endpoint`` split when no faults fire.
+        """
+        t0 = _time.perf_counter()
+        sink = AnalysisSink(self._endpoint_analysis)
+        endpoint = FleetEndpoint(
+            comm.rank,
+            coordinator,
+            sink,
+            injector=self.injector,
+            poll_interval=self.fleet.poll_interval,
+        )
+        report = endpoint.run()
+
+        result = InTransitResult(role="endpoint", rank=comm.rank)
+        result.steps = report.steps
+        result.wall_seconds = _time.perf_counter() - t0
+        result.mean_step_seconds = (
+            result.wall_seconds / report.steps if report.steps else 0.0
+        )
+        result.stream_bytes = report.recv_bytes
+        result.staging_bytes = report.staging_peak
+        result.memory_bytes = report.staging_peak
+        result.extra.update(
+            fleet=True,
+            crashed=report.crashed,
+            idle_polls=report.idle_polls,
+            parked_polls=report.parked_polls,
+            empty_steps=sink.adaptor.empty_steps,
+            corrupt_steps=coordinator.corrupt_steps,
+        )
+        analysis = sink.analysis
+        if isinstance(analysis, VTKPosthocIO):
+            result.files_bytes = analysis.bytes_written
+        elif isinstance(analysis, CatalystAnalysisAdaptor):
+            result.files_bytes = analysis.image_bytes
+            result.images = analysis.images_written
+            result.memory_bytes += analysis.peak_staging_bytes
+        if comm.rank == 0 and not report.crashed:
+            result.extra["fleet_stats"] = coordinator.stats()
         return result

@@ -66,6 +66,17 @@ class StreamedDataAdaptor(DataAdaptor):
                 self._cache_geometry(payload)
         return True
 
+    def install_geometry(self, payload: StepPayload) -> None:
+        """Cache a writer's geometry from a replayed first-step payload.
+
+        Fleet endpoints acquire streams mid-run (rebalance, steal) and
+        may never see a writer's geometry-bearing first step; the
+        coordinator retains that payload and replays it here before
+        the first :meth:`consume` of the writer's data.
+        """
+        if payload.attributes.get("has_geometry") == "1":
+            self._cache_geometry(payload)
+
     def _cache_geometry(self, payload: StepPayload) -> None:
         block_ids = payload.variables["block_ids"].astype(int)
         for index in block_ids:

@@ -8,11 +8,39 @@ first exception, and returns the per-rank results.
 
 from __future__ import annotations
 
+import sys
 import threading
+import traceback
 from typing import Callable, Sequence
 
 from repro.parallel.comm import SerialCommunicator, TrafficMeter
 from repro.parallel.thread_comm import ThreadCommunicator
+
+
+def dump_thread_stacks(file=None) -> int:
+    """Write every live thread's stack to `file` (default stderr).
+
+    The debugging move for a wedged SPMD world: rank threads are named
+    ``spmd-rank-N``, so the dump shows directly which rank is stuck in
+    which collective or queue wait.  Returns the number of threads
+    dumped.  Used by the test suite's deadlock watchdog before it
+    aborts the run.
+    """
+    out = file if file is not None else sys.stderr
+    frames = sys._current_frames()
+    threads = threading.enumerate()
+    print(f"==== stacks of {len(threads)} live thread(s) ====", file=out)
+    for thread in threads:
+        frame = frames.get(thread.ident)
+        daemon = " daemon" if thread.daemon else ""
+        print(f"\n-- {thread.name} (ident {thread.ident}{daemon}) --", file=out)
+        if frame is None:
+            print("  <no frame: thread finishing>", file=out)
+            continue
+        for line in traceback.format_stack(frame):
+            print(line.rstrip(), file=out)
+    print("==== end of thread stacks ====", file=out)
+    return len(threads)
 
 
 def run_spmd(

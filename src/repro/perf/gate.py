@@ -3,7 +3,7 @@
 Runs the gated microbenchmarks twice — optimized and, via
 ``repro.perf.naive_mode``, on the retained reference paths — then
 compares the optimized timings against the committed baseline in
-``BENCH_5.json``.  A kernel that regresses more than
+``BENCH_6.json``.  A kernel that regresses more than
 ``THRESHOLD - 1`` (20%) against its recorded baseline fails the gate.
 
 The file keeps three numbers per kernel so the history stays honest:
@@ -32,7 +32,7 @@ from repro.perf.plans import get_plan_cache
 
 SCHEMA = "repro-bench-gate/1"
 THRESHOLD = 1.2
-BASELINE_FILE = "BENCH_5.json"
+BASELINE_FILE = "BENCH_6.json"
 
 
 # -- gated kernel workloads ---------------------------------------------
@@ -272,6 +272,16 @@ def _kernel_serving():
     return run
 
 
+def _kernel_recovery():
+    from repro.bench.fleet import measure_recovery
+
+    # endpoint-loss makespan: optimized is the elastic fleet (lease
+    # detection, hash-ring reroute, replay on the survivor — every
+    # step commits); the reference is the static split, where the
+    # orphaned streams burn retry budgets and drop their steps
+    return lambda: measure_recovery()
+
+
 KERNELS = {
     "gather_scatter_setup": _kernel_gather_scatter_setup,
     "stiffness_apply": _kernel_stiffness_apply,
@@ -282,6 +292,7 @@ KERNELS = {
     "collectives": _kernel_collectives,
     "compositing": _kernel_compositing,
     "serving": _kernel_serving,
+    "recovery": _kernel_recovery,
 }
 
 
@@ -363,7 +374,7 @@ def run_gate(
 ) -> GateReport:
     """Measure the gated kernels and compare against the baseline file.
 
-    Writes the refreshed ``BENCH_5.json`` (new kernels adopt their
+    Writes the refreshed ``BENCH_6.json`` (new kernels adopt their
     current timing as baseline; existing baselines are preserved unless
     `update_baseline`).
     """

@@ -13,11 +13,13 @@ from __future__ import annotations
 
 import faulthandler
 import sys
+import threading
 
 import numpy as np
 import pytest
 
 from repro.parallel import SerialCommunicator
+from repro.parallel.runtime import dump_thread_stacks
 
 #: generous default so only genuine deadlocks trip it
 _DEFAULT_TEST_TIMEOUT = 300.0
@@ -32,10 +34,25 @@ def pytest_runtest_call(item):
     seconds = _DEFAULT_TEST_TIMEOUT
     if marker is not None and marker.args:
         seconds = float(marker.args[0])
-    faulthandler.dump_traceback_later(seconds, exit=True)
+
+    # two-stage watchdog: at the budget, dump every thread's stack
+    # (named spmd-rank-N threads make the stuck collective obvious);
+    # shortly after, faulthandler hard-aborts the wedged run
+    def _on_timeout():
+        sys.stderr.write(
+            f"\n[watchdog] test {item.nodeid!r} exceeded {seconds:g}s; "
+            "dumping all thread stacks before abort\n"
+        )
+        dump_thread_stacks(sys.stderr)
+
+    stack_timer = threading.Timer(seconds, _on_timeout)
+    stack_timer.daemon = True
+    stack_timer.start()
+    faulthandler.dump_traceback_later(seconds + 5.0, exit=True)
     try:
         yield
     finally:
+        stack_timer.cancel()
         faulthandler.cancel_dump_traceback_later()
 
 

@@ -1,0 +1,728 @@
+"""Elastic endpoint fleet tests (PR 6 tentpole).
+
+Units for every fleet piece — consistent-hash ring, heartbeat-lease
+membership, work-stealing queues, autoscaler, coordinator — plus the
+acceptance scenarios: killing 1 of 4 endpoints mid-run completes with
+zero lost committed steps, and the fleet path's output is
+byte-identical to the retained static split when no faults fire.
+
+Satellites covered here too: the SSTBroker shutdown race (a blocked
+``get`` fails fast with ``EndpointDownError`` when the broker closes
+or a producer dies), ``RetryPolicy.max_elapsed_s`` + retry counters,
+``(step, key)`` injector schedule entries, and ``dump_thread_stacks``.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.adios.engine import SSTBroker, SSTWriterEngine
+from repro.faults.errors import EndpointDownError, StreamTimeout
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.fleet import (
+    Autoscaler,
+    AutoscalerConfig,
+    Directive,
+    EndpointState,
+    FleetConfig,
+    FleetCoordinator,
+    FleetMembership,
+    HashRing,
+    RenderTask,
+    WorkQueues,
+)
+from repro.insitu import InTransitRunner
+from repro.nekrs.cases import weak_scaled_rbc_case
+from repro.observe.session import Telemetry, active
+from repro.parallel import run_spmd
+from repro.parallel.runtime import dump_thread_stacks
+from repro.perf.config import naive_mode
+
+pytestmark = pytest.mark.fleet
+
+
+class _Clock:
+    """Deterministic monotonic clock for lease tests."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# -- hash ring --------------------------------------------------------------
+
+
+class TestHashRing:
+    KEYS = [("writer", w) for w in range(32)]
+
+    def test_deterministic_across_instances(self):
+        a = HashRing(members=(0, 1, 2), seed=3)
+        b = HashRing(members=(2, 0, 1), seed=3)  # insertion order irrelevant
+        assert a.assignment(self.KEYS) == b.assignment(self.KEYS)
+
+    def test_seed_changes_assignment(self):
+        a = HashRing(members=(0, 1, 2), seed=0).assignment(self.KEYS)
+        b = HashRing(members=(0, 1, 2), seed=1).assignment(self.KEYS)
+        assert a != b
+
+    def test_remove_moves_only_the_removed_members_keys(self):
+        ring = HashRing(members=(0, 1, 2, 3), seed=1)
+        before = ring.assignment(self.KEYS)
+        ring.remove(2)
+        after = ring.assignment(self.KEYS)
+        moved = HashRing.moved(before, after)
+        assert moved == {k for k, owner in before.items() if owner == 2}
+        assert all(after[k] != 2 for k in moved)
+
+    def test_add_moves_keys_only_onto_the_new_member(self):
+        ring = HashRing(members=(0, 1, 2), seed=1)
+        before = ring.assignment(self.KEYS)
+        ring.add(3)
+        after = ring.assignment(self.KEYS)
+        moved = HashRing.moved(before, after)
+        assert moved  # a new member takes over some arcs
+        assert all(after[k] == 3 for k in moved)
+
+    def test_remove_then_readd_restores_assignment(self):
+        ring = HashRing(members=(0, 1, 2), seed=5)
+        before = ring.assignment(self.KEYS)
+        ring.remove(1)
+        ring.add(1)
+        assert ring.assignment(self.KEYS) == before
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().assign(("writer", 0))
+
+    def test_membership_views(self):
+        ring = HashRing(members=(2, 0), seed=0)
+        assert ring.members == (0, 2)
+        assert 2 in ring and 1 not in ring
+        assert len(ring) == 2
+
+
+# -- membership -------------------------------------------------------------
+
+
+class TestFleetMembership:
+    def test_register_is_idempotent(self):
+        m = FleetMembership(lease_timeout=1.0, clock=_Clock())
+        e1 = m.register(0)
+        e2 = m.register(0)
+        assert e1 == e2 == 1
+        assert m.state(0) is EndpointState.ACTIVE
+
+    def test_heartbeat_unknown_member_raises(self):
+        m = FleetMembership(lease_timeout=1.0, clock=_Clock())
+        with pytest.raises(KeyError):
+            m.heartbeat(7)
+
+    def test_silent_active_member_expires(self):
+        clock = _Clock()
+        m = FleetMembership(lease_timeout=0.5, clock=clock)
+        m.register(0)
+        m.register(1)
+        m.heartbeat(0)
+        clock.advance(0.4)
+        m.heartbeat(0)           # 0 keeps renewing, 1 goes silent
+        clock.advance(0.2)       # t=0.6: 1's lease (0.5) lapsed
+        assert m.expire() == [1]
+        assert m.state(1) is EndpointState.DEAD
+        assert m.state(0) is EndpointState.ACTIVE
+        assert m.expire() == []  # death is reported exactly once
+
+    def test_parked_member_never_expires(self):
+        clock = _Clock()
+        m = FleetMembership(lease_timeout=0.5, clock=clock)
+        m.register(0, parked=True)
+        clock.advance(100.0)
+        assert m.expire() == []
+        assert m.state(0) is EndpointState.PARKED
+
+    def test_transitions_bump_epoch_and_renew_lease(self):
+        clock = _Clock()
+        m = FleetMembership(lease_timeout=0.5, clock=clock)
+        m.register(0, parked=True)
+        e = m.epoch
+        clock.advance(10.0)      # way past the registration lease
+        m.activate(0)            # transition renews the lease
+        assert m.epoch == e + 1
+        assert m.expire() == []
+        assert m.state(0) is EndpointState.ACTIVE
+        m.park(0)
+        m.leave(0)
+        assert m.state(0) is EndpointState.LEFT
+        assert m.active_ids() == m.parked_ids() == ()
+
+    def test_late_heartbeats_revive_nothing(self):
+        clock = _Clock()
+        m = FleetMembership(lease_timeout=0.5, clock=clock)
+        m.register(0)
+        clock.advance(1.0)
+        assert m.expire() == [0]
+        m.heartbeat(0)           # zombie still posting
+        assert m.expire() == []
+        assert m.state(0) is EndpointState.DEAD
+
+
+# -- work queues ------------------------------------------------------------
+
+
+def _task(step: int) -> RenderTask:
+    return RenderTask(step=step)
+
+
+class TestWorkQueues:
+    def test_pop_is_fifo(self):
+        q = WorkQueues([0])
+        q.push(0, _task(1))
+        q.push(0, _task(2))
+        assert q.pop(0).step == 1
+        assert q.pop(0).step == 2
+        assert q.pop(0) is None
+
+    def test_steal_prefers_deepest_victim(self):
+        q = WorkQueues([0, 1, 2])
+        q.push(1, _task(0))
+        for s in range(3):
+            q.push(2, _task(s))
+        task, victim = q.steal(0)
+        assert victim == 2 and task.step == 0  # oldest task of deepest queue
+
+    def test_steal_tie_breaks_to_lowest_eid(self):
+        q = WorkQueues([0, 1, 2])
+        q.push(1, _task(10))
+        q.push(2, _task(20))
+        task, victim = q.steal(0)
+        assert victim == 1 and task.step == 10
+
+    def test_steal_respects_candidates_and_self(self):
+        q = WorkQueues([0, 1, 2])
+        q.push(0, _task(0))
+        q.push(2, _task(2))
+        assert q.steal(0, candidates=(0,)) is None        # never self
+        task, victim = q.steal(1, candidates=(0, 1))      # 2 not eligible
+        assert victim == 0
+        assert q.steal(1, candidates=(0, 1)) is None
+
+    def test_drain_empties_and_counts(self):
+        q = WorkQueues([0, 1])
+        for s in range(4):
+            q.push(0, _task(s))
+        drained = q.drain(0)
+        assert [t.step for t in drained] == [0, 1, 2, 3]
+        assert q.depth(0) == 0 and q.total_depth() == 0
+        assert q.pushed == 4
+
+
+# -- autoscaler -------------------------------------------------------------
+
+
+class TestAutoscaler:
+    def test_bounds_honor_ratio_clamp(self):
+        auto = Autoscaler(num_sim=8)
+        assert auto.bounds(pool_size=8) == (1, 4)    # 8/16 .. 8/2
+        auto = Autoscaler(num_sim=32)
+        assert auto.bounds(pool_size=4) == (2, 4)    # pool-capped
+        assert auto.clamp(1, pool_size=4) == 2
+        assert auto.clamp(9, pool_size=4) == 4
+
+    def test_scales_up_after_patience_hot_observations(self):
+        auto = Autoscaler(num_sim=8, config=AutoscalerConfig(patience=2,
+                                                             cooldown=2))
+        assert auto.observe(staged_steps=10, active=2, pool_size=4) == 2
+        assert auto.observe(staged_steps=10, active=2, pool_size=4) == 3
+        assert auto.scale_ups == 1 and auto.decisions == [(2, 3)]
+
+    def test_cooldown_suppresses_flapping(self):
+        auto = Autoscaler(num_sim=8, config=AutoscalerConfig(patience=1,
+                                                             cooldown=3))
+        assert auto.observe(staged_steps=10, active=2, pool_size=4) == 3
+        for _ in range(3):   # hot again, but cooling down
+            assert auto.observe(staged_steps=12, active=3, pool_size=4) == 3
+        assert auto.observe(staged_steps=12, active=3, pool_size=4) == 4
+
+    def test_scales_down_when_idle(self):
+        auto = Autoscaler(num_sim=8, config=AutoscalerConfig(patience=2,
+                                                             cooldown=0))
+        assert auto.observe(staged_steps=0, active=3, pool_size=4) == 3
+        assert auto.observe(staged_steps=0, active=3, pool_size=4) == 2
+        assert auto.scale_downs == 1
+
+    def test_stalls_count_as_pressure(self):
+        auto = Autoscaler(num_sim=8, config=AutoscalerConfig(patience=2,
+                                                             cooldown=0))
+        auto.observe(staged_steps=0, active=2, pool_size=4, stalls=1)
+        target = auto.observe(staged_steps=0, active=2, pool_size=4, stalls=2)
+        assert target == 3
+
+    def test_never_leaves_ratio_clamp(self):
+        auto = Autoscaler(num_sim=8, config=AutoscalerConfig(patience=1,
+                                                             cooldown=0))
+        # at the max already: staying hot cannot exceed num_sim/min_ratio
+        assert auto.observe(staged_steps=100, active=4, pool_size=8) == 4
+        # at the min: staying cold cannot go below num_sim/max_ratio
+        assert auto.observe(staged_steps=0, active=1, pool_size=8) == 1
+
+
+# -- coordinator ------------------------------------------------------------
+
+
+def _stage_steps(broker: SSTBroker, steps: int, elems: int = 16,
+                 close: bool = True) -> None:
+    """Write `steps` marshaled steps on every writer, then (optionally)
+    close the streams with sentinels."""
+    for w in range(broker.num_writers):
+        engine = SSTWriterEngine("fleet-test", broker, w)
+        for s in range(steps):
+            engine.begin_step()
+            engine.set_step_info(s, s * 1e-2)
+            engine.put("data", np.full(elems, float(w * 100 + s)))
+            engine.end_step()
+        if close:
+            engine.close()
+
+
+class TestFleetCoordinator:
+    def _coordinator(self, writers=2, pool=1, queue_limit=64, clock=None,
+                     **kw) -> tuple[SSTBroker, FleetCoordinator]:
+        broker = SSTBroker(num_writers=writers, queue_limit=queue_limit)
+        coord = FleetCoordinator(
+            broker, num_writers=writers, pool_size=pool,
+            clock=clock or time.monotonic, **kw,
+        )
+        return broker, coord
+
+    def test_single_endpoint_assembles_and_commits_everything(self):
+        broker, coord = self._coordinator(writers=2, pool=1)
+        _stage_steps(broker, steps=3)
+        coord.join(0)
+        seen = []
+        while True:
+            out = coord.poll(0)
+            if out is Directive.STOP:
+                break
+            assert out is not Directive.PARK
+            if out is Directive.IDLE:
+                continue
+            assert set(out.payloads) == {0, 1}  # fully assembled
+            seen.append(out.step)
+            coord.commit(0, out)
+        assert seen == [0, 1, 2]
+        assert coord.committed == {0, 1, 2}
+        assert coord.done()
+
+    def test_lease_lapse_reroutes_streams_and_replays_tasks(self):
+        clock = _Clock()
+        broker, coord = self._coordinator(
+            writers=4, pool=2, lease_timeout=0.5, seed=1, clock=clock,
+        )
+        _stage_steps(broker, steps=3)
+        coord.join(0)
+        coord.join(1)
+        before = coord.assignment()
+        assert set(before.values()) == {0, 1}  # both endpoints own streams
+        # endpoint 1 dies silently; endpoint 0 keeps polling
+        clock.advance(1.0)
+        tasks = []
+        while True:
+            out = coord.poll(0)
+            if out is Directive.STOP:
+                break
+            if out is Directive.IDLE:
+                continue
+            tasks.append(out)
+            coord.commit(0, out)
+        assert coord.crashes_detected == 1
+        assert coord.membership.state(1) is EndpointState.DEAD
+        after = coord.assignment()
+        assert set(after.values()) == {0}
+        stats = coord.stats()
+        rec = stats["recoveries"][0]
+        assert rec["eid"] == 1 and not rec["planned"]
+        assert rec["streams_moved"] == sum(
+            1 for w, o in before.items() if o == 1
+        )
+        assert coord.committed == {0, 1, 2}   # zero lost committed steps
+        assert coord.done()
+
+    def test_zombie_endpoint_is_told_to_stop(self):
+        clock = _Clock()
+        broker, coord = self._coordinator(
+            writers=1, pool=2, lease_timeout=0.5, clock=clock,
+        )
+        coord.join(0)
+        coord.join(1)
+        clock.advance(1.0)
+        coord.poll(0)            # reaps endpoint 1
+        assert coord.membership.state(1) is EndpointState.DEAD
+        # the "dead" member was merely slow; its next poll exits cleanly
+        assert coord.poll(1) is Directive.STOP
+
+    def test_planned_depart_keeps_inflight_with_the_survivor(self):
+        broker, coord = self._coordinator(writers=2, pool=2, seed=1,
+                                          queue_limit=64)
+        _stage_steps(broker, steps=2)
+        coord.join(0)
+        coord.join(1)
+        # whoever owns the last-ingested stream completes the assembly;
+        # make endpoint 0 ingest everything it owns first
+        task = None
+        for eid in (0, 1):
+            out = coord.poll(eid)
+            if isinstance(out, RenderTask):
+                task = (eid, out)
+                break
+        assert task is not None
+        holder, render = task
+        other = 1 - holder
+        coord.depart(other)      # planned: no recovery record
+        assert coord.crashes_detected == 0
+        assert coord.planned_retirements >= 0
+        coord.commit(holder, render)
+        while True:
+            out = coord.poll(holder)
+            if out is Directive.STOP:
+                break
+            if isinstance(out, RenderTask):
+                coord.commit(holder, out)
+        assert coord.committed == {0, 1}
+        assert not coord.stats()["recoveries"]
+
+    def test_idle_endpoint_steals_queued_step(self):
+        broker, coord = self._coordinator(writers=1, pool=2, queue_limit=8)
+        coord.join(0)
+        coord.join(1)
+        coord.queues.push(0, RenderTask(step=7))
+        out = coord.poll(1)
+        assert isinstance(out, RenderTask) and out.step == 7
+        assert coord.queues.stolen == 1
+
+    def test_autoscaler_activates_parked_member_under_backlog(self):
+        broker = SSTBroker(num_writers=4, queue_limit=64)
+        auto = Autoscaler(num_sim=4, config=AutoscalerConfig(
+            patience=1, cooldown=0, high_water=1.0,
+        ))
+        coord = FleetCoordinator(
+            broker, num_writers=4, pool_size=2, initial_active=1,
+            autoscaler=auto, autoscale_every=1, seed=1,
+        )
+        _stage_steps(broker, steps=4, close=False)
+        coord.join(0)
+        coord.join(1)
+        assert coord.membership.state(1) is EndpointState.PARKED
+        coord.poll(0)   # observes 16 staged steps on 1 endpoint
+        coord.poll(0)
+        assert coord.membership.state(1) is EndpointState.ACTIVE
+        assert auto.scale_ups >= 1
+        assert 1 in coord.ring
+
+    def test_geometry_is_cached_and_replayed(self):
+        broker, coord = self._coordinator(writers=1, pool=1)
+        engine = SSTWriterEngine("fleet-test", broker, 0)
+        engine.begin_step()
+        engine.set_step_info(0, 0.0)
+        engine.put("data", np.arange(8.0))
+        engine.put_attribute("has_geometry", "1")
+        engine.end_step()
+        engine.close()
+        coord.join(0)
+        while True:
+            out = coord.poll(0)
+            if out is Directive.STOP:
+                break
+            if isinstance(out, RenderTask):
+                coord.commit(0, out)
+        assert coord.geometry(0) is not None
+        assert coord.geometry(0).attributes["has_geometry"] == "1"
+
+
+# -- broker shutdown race (satellite) ---------------------------------------
+
+
+class TestBrokerShutdownRace:
+    def test_blocked_get_fails_fast_on_broker_close(self):
+        broker = SSTBroker(num_writers=1, timeout=30.0)
+        caught = {}
+
+        def consumer():
+            t0 = time.perf_counter()
+            try:
+                broker.get(0)
+            except EndpointDownError as exc:
+                caught["error"] = exc
+            except StreamTimeout as exc:        # pragma: no cover
+                caught["error"] = exc
+            caught["elapsed"] = time.perf_counter() - t0
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        time.sleep(0.05)         # let it block on the empty stream
+        broker.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert isinstance(caught["error"], EndpointDownError)
+        assert "broker closed" in str(caught["error"])
+        assert caught["elapsed"] < 5.0          # not the 30s stream timeout
+
+    def test_blocked_get_fails_fast_when_producer_dies(self):
+        broker = SSTBroker(num_writers=2, timeout=30.0)
+        caught = {}
+
+        def consumer():
+            try:
+                broker.get(1)
+            except EndpointDownError as exc:
+                caught["error"] = exc
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        broker.mark_writer_down(1)
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert "producer dead" in str(caught["error"])
+
+    def test_try_get_reports_dead_stream_only_when_drained(self):
+        broker = SSTBroker(num_writers=1, queue_limit=8)
+        engine = SSTWriterEngine("x", broker, 0)
+        engine.begin_step()
+        engine.set_step_info(0, 0.0)
+        engine.put("data", np.zeros(4))
+        engine.end_step()
+        broker.mark_writer_down(0)
+        assert broker.try_get(0, step=0) is not None   # staged data survives
+        with pytest.raises(EndpointDownError):
+            broker.try_get(0, step=1)
+
+
+# -- retry deadline + counters (satellite) ----------------------------------
+
+
+class TestRetryDeadline:
+    def test_max_elapsed_s_cuts_before_max_attempts(self):
+        policy = RetryPolicy(max_attempts=50, base_delay=0.05, jitter=0.0,
+                             max_elapsed_s=0.1)
+        attempts = []
+
+        def fn(attempt):
+            attempts.append(attempt)
+            raise StreamTimeout("nope")
+
+        t0 = time.perf_counter()
+        with pytest.raises(EndpointDownError) as err:
+            policy.call(fn)
+        assert time.perf_counter() - t0 < 2.0
+        assert len(attempts) < 50
+        assert "deadline of 0.1s" in str(err.value)
+
+    def test_attempt_budget_message_preserved(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(EndpointDownError) as err:
+            policy.call(lambda attempt: (_ for _ in ()).throw(
+                StreamTimeout("x")))
+        assert "2 attempts" in str(err.value)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed_s=-1.0)
+
+    def test_counters_track_attempts_and_exhaustion(self):
+        tel = Telemetry.create(rank=0)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with active(tel):
+            with pytest.raises(EndpointDownError):
+                policy.call(lambda attempt: (_ for _ in ()).throw(
+                    StreamTimeout("x")))
+            policy.call(lambda attempt: "ok")
+        attempts = tel.metrics.counter(
+            "repro_retry_attempts_total", "").value
+        exhausted = tel.metrics.counter(
+            "repro_retry_exhausted_total", "").value
+        assert attempts == 4.0   # 3 failing + 1 succeeding
+        assert exhausted == 1.0
+
+
+# -- injector (step, key) schedule (satellite) ------------------------------
+
+
+class TestInjectorKeyedSchedule:
+    def test_pair_entry_fires_only_for_its_key(self):
+        inj = FaultInjector(schedule={"endpoint_crash": ((3, 1),)})
+        assert not inj.fires("endpoint_crash", "loop", 3, key=0)
+        assert inj.fires("endpoint_crash", "loop", 3, key=1)
+        assert not inj.fires("endpoint_crash", "loop", 4, key=1)
+
+    def test_bare_step_fires_for_every_key(self):
+        inj = FaultInjector(schedule={"endpoint_crash": (3,)})
+        assert inj.fires("endpoint_crash", "loop", 3, key=0)
+        assert inj.fires("endpoint_crash", "loop", 3, key=9)
+
+    def test_mixed_entries(self):
+        inj = FaultInjector(schedule={"drop_step": (1, (2, 5))})
+        assert inj.fires("drop_step", "put", 1, key=0)
+        assert inj.fires("drop_step", "put", 2, key=5)
+        assert not inj.fires("drop_step", "put", 2, key=4)
+
+
+# -- thread-stack dump (satellite) ------------------------------------------
+
+
+def test_dump_thread_stacks_names_spmd_ranks():
+    gate = threading.Event()
+
+    def body():
+        gate.wait(timeout=10.0)
+
+    t = threading.Thread(target=body, name="spmd-rank-99", daemon=True)
+    t.start()
+    out = io.StringIO()
+    try:
+        count = dump_thread_stacks(out)
+    finally:
+        gate.set()
+        t.join(timeout=5.0)
+    text = out.getvalue()
+    assert count >= 2
+    assert "spmd-rank-99" in text
+    assert "MainThread" in text
+    assert "gate.wait" in text
+
+
+# -- end-to-end acceptance ---------------------------------------------------
+
+
+def _fleet_runner(tmp, mode="checkpoint", steps=3, fleet=None, **kw):
+    def case_builder(nsim):
+        c = weak_scaled_rbc_case(nsim, elements_per_rank=2, order=3, dt=1e-3)
+        return c.with_overrides(num_steps=steps)
+
+    return InTransitRunner(
+        case_builder,
+        mode=mode,
+        ratio=kw.pop("ratio", 2),
+        num_steps=steps,
+        stream_interval=1,
+        arrays=("temperature", "velocity_magnitude"),
+        output_dir=tmp,
+        image_size=64,
+        fleet=fleet,
+        **kw,
+    )
+
+
+def _dir_bytes(root):
+    return {
+        p.relative_to(root).as_posix(): p.read_bytes()
+        for p in sorted(root.rglob("*")) if p.is_file()
+    }
+
+
+@pytest.mark.timeout(120)
+class TestFleetEndToEnd:
+    def test_kill_one_of_four_endpoints_loses_no_committed_steps(self, tmp_path):
+        """Acceptance: 8 sims + 4 endpoints, endpoint 2 dies at its
+        first poll — every streamed step still commits exactly once."""
+        steps = 3
+        injector = FaultInjector(schedule={"endpoint_crash": ((0, 2),)})
+        runner = _fleet_runner(
+            tmp_path, steps=steps,
+            # seed 7 gives all four endpoints ring arcs over 8 writers,
+            # so killing endpoint 2 really orphans streams
+            fleet=FleetConfig(lease_timeout=0.25, seed=7),
+            injector=injector,
+            retry=RetryPolicy(max_attempts=20, base_delay=0.01,
+                              attempt_timeout=0.1, max_elapsed_s=30.0),
+        )
+        results = run_spmd(12, runner.run)
+        sims = [r for r in results if r.role == "simulation"]
+        ends = [r for r in results if r.role == "endpoint"]
+        assert len(sims) == 8 and len(ends) == 4
+
+        crashed = [r for r in ends if r.extra.get("crashed")]
+        assert [r.rank for r in crashed] == [2]
+
+        coord = runner.last_coordinator
+        stats = coord.stats()
+        # zero lost committed steps: every streamed step committed
+        # (solver step numbering is 1-based)
+        assert coord.committed == set(range(1, steps + 1))
+        assert stats["crashes_detected"] == 1
+        rec = stats["recoveries"][0]
+        assert rec["eid"] == 2 and not rec["planned"]
+        assert rec["streams_moved"] >= 1
+        assert rec["recovery_seconds"] is not None
+        assert rec["recovery_seconds"] < 30.0       # recovery SLO
+
+        # the simulation never had to degrade: the reroute landed
+        # inside the writers' retry budget
+        assert all(r.steps == steps for r in sims)
+        assert all(r.extra["degraded_steps"] == 0 for r in sims)
+
+        # fault ledger balances: the one injected crash was recovered
+        log = injector.log
+        assert log.injected["endpoint_crash"] == 1
+        assert log.recovered["endpoint_crash"] == 1
+        assert log.accounted
+
+        # all 8 blocks x 3 steps of VTU output exist despite the loss
+        vtus = list((tmp_path / "checkpoint").glob("*.vtu"))
+        assert len(vtus) == steps * 8
+
+    def test_fleet_output_matches_static_split_without_faults(self, tmp_path):
+        """Acceptance: the elastic path is byte-identical to the
+        retained static split when no faults fire (checkpoint mode)."""
+        static = _fleet_runner(tmp_path / "static", ratio=4)
+        run_spmd(5, static.run)
+        fleet = _fleet_runner(tmp_path / "fleet", ratio=4,
+                              fleet=FleetConfig(lease_timeout=1.0))
+        run_spmd(5, fleet.run)
+        assert fleet.last_coordinator is not None
+        a = _dir_bytes(tmp_path / "static")
+        b = _dir_bytes(tmp_path / "fleet")
+        assert a.keys() == b.keys() and len(a) > 0
+        assert a == b
+
+    def test_fleet_renders_identical_frames(self, tmp_path):
+        """Same equivalence for rendered catalyst frames."""
+        static = _fleet_runner(tmp_path / "static", mode="catalyst", ratio=4)
+        run_spmd(5, static.run)
+        fleet = _fleet_runner(tmp_path / "fleet", mode="catalyst", ratio=4,
+                              fleet=FleetConfig(lease_timeout=1.0))
+        run_spmd(5, fleet.run)
+        a = _dir_bytes(tmp_path / "static")
+        b = _dir_bytes(tmp_path / "fleet")
+        assert a.keys() == b.keys()
+        assert any(k.endswith(".png") for k in a)
+        assert a == b
+
+    def test_naive_mode_retains_static_split(self, tmp_path):
+        """naive_mode() ignores the fleet config: the reference static
+        endpoint path still runs (the gate's reference arm)."""
+        with naive_mode():
+            runner = _fleet_runner(tmp_path,
+                                   fleet=FleetConfig(lease_timeout=1.0))
+        results = run_spmd(5, runner.run)
+        assert runner.last_coordinator is None
+        ends = [r for r in results if r.role == "endpoint"]
+        assert all("fleet" not in r.extra for r in ends)
+        assert ends[0].steps == 3
+
+    def test_fleet_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(lease_timeout=0.0)
+        with pytest.raises(ValueError):
+            FleetConfig(poll_interval=-1.0)
