@@ -414,6 +414,8 @@ class SSTWriterEngine(Engine):
         self._attrs[name] = str(value)
 
     def end_step(self) -> None:
+        live = get_telemetry().live
+        t0 = _time.perf_counter() if live.enabled else 0.0
         payload = StepPayload(
             step=self._step,
             time=self._time,
@@ -422,6 +424,11 @@ class SSTWriterEngine(Engine):
             attributes=dict(self._attrs),
         )
         data = marshal_step(payload)
+        if live.enabled:
+            live.stage(
+                "marshal", self._step, t0, _time.perf_counter(),
+                stream=self.writer_rank,
+            )
         try:
             if self.retry is None:
                 self.broker.put(self.writer_rank, data, step=self._step)
@@ -435,6 +442,13 @@ class SSTWriterEngine(Engine):
                     on_retry=self._on_retry,
                     describe=f"SST put (writer {self.writer_rank}, step {self._step})",
                 )
+            if live.enabled:
+                # put mark: the wire stage opens when the payload lands
+                # in the broker and closes at the consumer's got mark
+                live.wire_mark(
+                    "put", self._step, self.writer_rank,
+                    _time.perf_counter(), len(data),
+                )
         finally:
             self._staged.clear()
             super().end_step()
@@ -442,6 +456,7 @@ class SSTWriterEngine(Engine):
     def _on_retry(self, attempt: int, exc: Exception) -> None:
         self.broker.stats.faults.record_retry()
         tel = get_telemetry()
+        tel.live.event("retry")
         if tel.enabled:
             tel.tracer.instant(
                 "sst.retry", attempt=attempt, writer=self.writer_rank,
@@ -477,6 +492,7 @@ class SSTReaderEngine(Engine):
 
     def begin_step(self) -> StepStatus:
         super().begin_step()
+        live = get_telemetry().live
         self._current = {}
         for w in self.writer_ranks:
             if w in self._ended:
@@ -487,7 +503,11 @@ class SSTReaderEngine(Engine):
                 self._ended.add(w)
                 continue
             try:
-                self._current[w] = unmarshal_step(raw)
+                payload = self._current[w] = unmarshal_step(raw)
+                if live.enabled:
+                    live.wire_mark(
+                        "got", payload.step, w, _time.perf_counter(), len(raw)
+                    )
             except CorruptPayloadError:
                 self.corrupt_steps += 1
                 self.broker.stats.record_corrupt()

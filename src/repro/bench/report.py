@@ -21,6 +21,7 @@ from repro.bench import (
     fig5,
     fig6,
     fleet,
+    live_telemetry,
     robustness,
     serving,
     storage,
@@ -81,6 +82,8 @@ def build_report(quick: bool = True) -> str:
     serve_kwargs = dict(clients=64, frames=20, workers=4) if quick else {}
     parts.append(_section("Serving — multi-client frame fan-out",
                           serving.serving_table(**serve_kwargs)))
+    parts.append(_section("Observability — live telemetry plane overhead",
+                          live_telemetry.overhead_table()))
     parts.append(_section("Telemetry — per-phase time and memory HWM per mode",
                           telemetry.run(measure_kwargs=pb_kwargs)))
     parts.append("```\n" + telemetry.flame(measure_kwargs=pb_kwargs) + "\n```\n")

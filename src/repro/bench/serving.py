@@ -30,6 +30,7 @@ import time
 import numpy as np
 
 from repro.faults import FaultInjector
+from repro.observe import Telemetry, active
 from repro.serve import FrameHub
 from repro.util.png import encode_png
 from repro.util.sizes import format_bytes
@@ -106,12 +107,17 @@ def run_serving_load(
     # client's whole lifetime, not just its latest reincarnation
     retired: list = []
 
+    # the publisher thread carries real telemetry so the frame store's
+    # refcount-aware `serve.framestore` charge lands in a MemoryMeter
+    pub_tel = Telemetry.create(rank=0)
+
     def publisher():
-        for i in range(frames):
-            hub.publish("catalyst", step=i, time=i * 1e-2,
-                        data=payloads[i % len(payloads)])
-            if publish_interval_s:
-                time.sleep(publish_interval_s)
+        with active(pub_tel):
+            for i in range(frames):
+                hub.publish("catalyst", step=i, time=i * 1e-2,
+                            data=payloads[i % len(payloads)])
+                if publish_interval_s:
+                    time.sleep(publish_interval_s)
         done.set()
 
     def worker(wid: int):
@@ -200,6 +206,9 @@ def run_serving_load(
         if fast_counts.max() else 1.0,
         "churn_events": churn_events,
         "store": hub.store.stats(),
+        "framestore_hwm_bytes": pub_tel.memory.peaks().get(
+            "serve.framestore", 0
+        ),
     }
     hub.close()
     return result
@@ -234,6 +243,12 @@ def serving_table(**kwargs) -> Table:
     table.add_row(
         ["frame store", format_bytes(out["store"]["payload_bytes"])
          + f" held, {out['store']['frames_deduped']} dedup hits"]
+    )
+    table.add_row(
+        ["frame store HWM (serve.framestore)",
+         format_bytes(out["framestore_hwm_bytes"])
+         + f" metered, {format_bytes(out['store']['peak_payload_bytes'])}"
+           " store peak"]
     )
     return table
 

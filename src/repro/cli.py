@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from pathlib import Path
 
 from repro.util.sizes import format_bytes
@@ -389,6 +390,80 @@ def cmd_intransit(args) -> int:
     return 0
 
 
+def cmd_observe(args) -> int:
+    import time as _time
+
+    from repro.observe.live.export import render_remote_top, render_top
+
+    if args.url:
+        import json as _json
+        from urllib.request import urlopen
+
+        base = args.url.rstrip("/")
+
+        def fetch(path):
+            with urlopen(base + path, timeout=5.0) as resp:
+                return _json.loads(resp.read().decode())
+
+        frames = 1 if args.once else args.frames
+        for i in range(frames):
+            health = fetch("/healthz")
+            slo = fetch("/slo")
+            try:
+                timeline = fetch("/timeline")
+            except Exception:
+                timeline = None       # no steps retained yet (404)
+            print(render_remote_top(health, slo, timeline))
+            if i + 1 < frames:
+                print()
+                _time.sleep(args.interval)
+        return 0
+
+    # no --url: drive a small in-process fleet run and watch it live
+    from repro.fleet import FleetConfig
+    from repro.insitu import InTransitRunner
+    from repro.nekrs.cases import weak_scaled_rbc_case
+    from repro.observe import TelemetrySession
+    from repro.observe.live import LivePlane
+    from repro.parallel import run_spmd
+
+    def case_builder(nsim):
+        case = weak_scaled_rbc_case(
+            nsim, elements_per_rank=2, order=3, dt=1e-3
+        )
+        return case.with_overrides(num_steps=args.steps)
+
+    session = TelemetrySession("observe-top")
+    plane = LivePlane(session)
+    runner = InTransitRunner(
+        case_builder,
+        mode="catalyst",
+        ratio=2,
+        num_steps=args.steps,
+        stream_interval=1,
+        arrays=("temperature",),
+        output_dir=args.output,
+        image_size=48,
+        session=session,
+        fleet=FleetConfig(),
+    )
+    if args.once:
+        run_spmd(args.ranks, runner.run)
+        print(render_top(plane))
+        return 0
+    worker = threading.Thread(
+        target=run_spmd, args=(args.ranks, runner.run), daemon=True
+    )
+    worker.start()
+    while worker.is_alive():
+        print(render_top(plane))
+        print()
+        worker.join(args.interval)
+    worker.join()
+    print(render_top(plane))
+    return 0
+
+
 def cmd_bench(args) -> int:
     import importlib
 
@@ -533,6 +608,30 @@ def build_parser() -> argparse.ArgumentParser:
     intransit.add_argument("--output", default="intransit_output")
     intransit.set_defaults(fn=cmd_intransit)
 
+    observe = sub.add_parser(
+        "observe", help="live telemetry tools (dashboard, SLO watch)"
+    )
+    obs_sub = observe.add_subparsers(dest="observe_command", required=True)
+    top = obs_sub.add_parser(
+        "top",
+        help="terminal dashboard: stage latencies, SLO burn, timelines",
+    )
+    top.add_argument("--url", default=None,
+                     help="poll a running server's /healthz + /slo + "
+                          "/timeline instead of launching a demo run")
+    top.add_argument("--once", action="store_true",
+                     help="render a single dashboard frame and exit")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between dashboard frames")
+    top.add_argument("--frames", type=int, default=10,
+                     help="frames to render in --url mode (without --once)")
+    top.add_argument("--ranks", type=int, default=3,
+                     help="ranks for the in-process demo run (no --url)")
+    top.add_argument("--steps", type=int, default=3,
+                     help="steps for the in-process demo run (no --url)")
+    top.add_argument("--output", default="observe_output")
+    top.set_defaults(fn=cmd_observe)
+
     bench = sub.add_parser(
         "bench", help="regenerate a paper figure/table, or run the perf gate"
     )
@@ -540,9 +639,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="use the smallest measurement workload")
     bench.add_argument("--gate", action="store_true",
-                       help="run the perf regression gate against BENCH_6.json "
-                            "(includes the compositing, collectives, and "
-                            "recovery rows)")
+                       help="run the perf regression gate against BENCH_7.json "
+                            "(includes the compositing, collectives, recovery, "
+                            "and live-telemetry rows)")
     bench.add_argument("--update-baseline", action="store_true",
                        help="refresh the gate baselines with current timings")
     bench.set_defaults(fn=cmd_bench)

@@ -111,6 +111,7 @@ class RetryPolicy:
                 "repro_retry_exhausted_total",
                 "Retry loops that exhausted their attempt or deadline budget",
             ).inc()
+        tel.live.event("retry_exhausted")
         raise EndpointDownError(
             f"{describe} failed after {attempt} attempt(s), exhausting "
             f"{exhausted_by} (last error: {last})"

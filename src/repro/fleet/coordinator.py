@@ -105,6 +105,7 @@ class FleetCoordinator:
         autoscaler: Autoscaler | None = None,
         autoscale_every: int = 8,
         clock=time.monotonic,
+        live=None,
     ):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
@@ -120,6 +121,11 @@ class FleetCoordinator:
         self.queues = WorkQueues(self.pool)
         self.autoscaler = autoscaler
         self.autoscale_every = autoscale_every
+        #: attached :class:`~repro.observe.live.plane.LivePlane`, if any;
+        #: gets crash/recovery events, and its SLO alert pressure is
+        #: accumulated into the autoscaler's stall signal
+        self.live = live
+        self._pressure_accum = 0
         self._lock = threading.RLock()
         # per-writer stream progress
         self._got: dict[int, int] = {}           # delivered payload ordinal
@@ -204,6 +210,7 @@ class FleetCoordinator:
     def commit(self, eid: int, task: RenderTask) -> None:
         """Mark a render task done (idempotent per step)."""
         now = self.clock()
+        healed: list[RecoveryRecord] = []
         with self._lock:
             inflight = self._inflight.get(eid, [])
             if task in inflight:
@@ -218,6 +225,10 @@ class FleetCoordinator:
                 if not record._pending and not record._pending_steps:
                     record.completed_at = now
                     record.commits_at_complete = self.commits
+                    healed.append(record)
+        if self.live is not None:
+            for record in healed:
+                self.live.recovery_complete(record.eid, record.recovery_seconds)
         tel = get_telemetry()
         if tel.enabled:
             tel.metrics.counter(
@@ -375,6 +386,14 @@ class FleetCoordinator:
                 record.commits_at_complete = self.commits
             self.recoveries.append(record)
             self.broker.stats.faults.try_resolve("endpoint_crash", "recovered")
+            if self.live is not None:
+                # fire the recovery-time SLO at detection and close the
+                # dead member's trace track (global rank = writers + eid)
+                self.live.crash_detected(
+                    eid, rank_hint=self.num_writers + eid
+                )
+                if record.completed_at is not None:
+                    self.live.recovery_complete(eid, record.recovery_seconds)
 
     def _autoscale_tick(self) -> None:
         if self.autoscaler is None:
@@ -385,12 +404,21 @@ class FleetCoordinator:
                 return
             active = self.membership.active_ids()
             parked = self.membership.parked_ids()
+            slo_pressure = 0
+            if self.live is not None:
+                # accumulate: the autoscaler reacts to stall *deltas*,
+                # so a persistently firing alert must keep adding to
+                # the signal to sustain scale-up pressure
+                slo_pressure = self.live.pressure()
+                self._pressure_accum += slo_pressure
             target = self.autoscaler.observe(
                 staged_steps=self.staged_depth(),
                 active=len(active),
                 pool_size=len(active) + len(parked),
-                stalls=self.broker.stats.faults.retries,
+                stalls=self.broker.stats.faults.retries + self._pressure_accum,
             )
+            if self.live is not None:
+                self.live.note_autoscaler_pressure(slo_pressure)
             if target > len(active) and parked:
                 promoted = parked[0]
                 self.membership.activate(promoted)
@@ -438,6 +466,11 @@ class FleetCoordinator:
                     with self._lock:
                         self.corrupt_steps += 1
                     continue
+                live = get_telemetry().live
+                if live.enabled:
+                    live.wire_mark(
+                        "got", payload.step, w, time.perf_counter(), len(raw)
+                    )
                 with self._lock:
                     if payload.attributes.get("has_geometry") == "1":
                         self._geometry.setdefault(w, payload)

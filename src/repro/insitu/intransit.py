@@ -171,12 +171,19 @@ class InTransitRunner:
             self.session.activate(comm.rank) if self.session is not None
             else nullcontext()
         )
-        with scope:
-            if is_sim:
-                return self._run_simulation(sub, broker, num_sim)
-            if coordinator is not None:
-                return self._run_endpoint_fleet(sub, broker, coordinator)
-            return self._run_endpoint(sub, broker, num_sim, num_end)
+        try:
+            with scope:
+                if is_sim:
+                    return self._run_simulation(sub, broker, num_sim)
+                if coordinator is not None:
+                    return self._run_endpoint_fleet(sub, broker, coordinator)
+                return self._run_endpoint(sub, broker, num_sim, num_end)
+        finally:
+            # drain this rank's pending live-telemetry delta so timelines
+            # are complete the instant the run body returns
+            if self.session is not None:
+                tel = self.session.rank(comm.rank)
+                tel.live.flush()
 
     def _build_coordinator(
         self, broker: SSTBroker, num_sim: int, num_end: int
@@ -197,6 +204,7 @@ class InTransitRunner:
             seed=cfg.seed,
             autoscaler=autoscaler,
             autoscale_every=cfg.autoscale_every,
+            live=getattr(self.session, "live", None),
         )
 
     # -- simulation side ---------------------------------------------------

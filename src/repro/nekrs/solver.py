@@ -20,6 +20,7 @@ which meters the GPU->CPU traffic the paper discusses.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -311,8 +312,15 @@ class NekRSSolver:
     def step(self) -> StepReport:
         """Advance one timestep; returns diagnostics."""
         tel = get_telemetry()
+        live = tel.live
+        t0 = time.perf_counter() if live.enabled else 0.0
         with tel.tracer.span("solver.step", step=self.step_index):
             report = self._step_impl(tel)
+        if live.enabled:
+            live.stage(
+                "solve", report.step, t0, time.perf_counter(),
+                stream=self.comm.rank,
+            )
         if tel.enabled:
             tel.metrics.counter(
                 "repro_solver_steps_total", "Completed solver timesteps"

@@ -40,6 +40,7 @@ from repro.observe.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    naming_violations,
 )
 from repro.observe.session import (
     Telemetry,
@@ -66,6 +67,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "DEFAULT_BUCKETS",
+    "naming_violations",
     "MemoryMeter",
     "NullMemoryMeter",
     "aggregate_peaks",

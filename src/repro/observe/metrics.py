@@ -29,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "DEFAULT_BUCKETS",
+    "naming_violations",
 ]
 
 #: default histogram buckets: seconds, spanning µs-scale broker ops to
@@ -276,6 +277,45 @@ class MetricsRegistry:
             "labels": dict(self.labels),
             "metrics": {m.name: m.as_dict() for m in self},
         }
+
+
+#: unit suffixes a histogram may carry (values are seconds or bytes —
+#: anything else belongs in a counter or gauge)
+_HISTOGRAM_UNITS = ("_seconds", "_bytes")
+
+
+def naming_violations(registry) -> list[str]:
+    """Audit a registry against the repo's metric-name convention.
+
+    Returns one human-readable complaint per violating metric (empty
+    means clean).  The rules, enforced across every registry the test
+    suite can reach:
+
+    - every name carries the ``repro_`` prefix (one namespace on a
+      shared Prometheus endpoint);
+    - counters end in ``_total``;
+    - histograms end in a unit suffix (``_seconds`` or ``_bytes``);
+    - gauges never end in ``_total`` (that suffix promises a counter),
+      and when they carry a unit it is spelled as a suffix the same
+      way (``_bytes``, ``_seconds``, ``_ratio``).
+    """
+    problems = []
+    for metric in registry:
+        name = metric.name
+        if not name.startswith("repro_"):
+            problems.append(f"{name}: missing the repro_ prefix")
+        if metric.kind == "counter" and not name.endswith("_total"):
+            problems.append(f"{name}: counters must end in _total")
+        if metric.kind == "histogram" and not name.endswith(_HISTOGRAM_UNITS):
+            problems.append(
+                f"{name}: histograms must end in a unit suffix "
+                f"{_HISTOGRAM_UNITS}"
+            )
+        if metric.kind == "gauge" and name.endswith("_total"):
+            problems.append(
+                f"{name}: _total promises a counter; gauges must not use it"
+            )
+    return problems
 
 
 class _NullMetric:

@@ -22,6 +22,7 @@ import time
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.observe.live.collector import NullLiveCollector
 from repro.observe.memory import MemoryMeter, NullMemoryMeter, aggregate_peaks
 from repro.observe.metrics import MetricsRegistry, NullMetricsRegistry
 from repro.observe.tracer import NullTracer, Tracer, chrome_trace, flame_summary
@@ -36,6 +37,10 @@ __all__ = [
 ]
 
 
+#: shared no-op live collector; a LivePlane swaps in a real one per rank
+_NULL_LIVE = NullLiveCollector()
+
+
 class Telemetry:
     """One rank's instrument bundle."""
 
@@ -45,6 +50,9 @@ class Telemetry:
         self.memory = memory
         self.rank = rank
         self.enabled = enabled
+        #: live-plane slot (see :mod:`repro.observe.live`); hot paths
+        #: gate on ``tel.live.enabled``, so the default costs one load
+        self.live = _NULL_LIVE
 
     @classmethod
     def create(cls, rank: int = 0, clock=time.perf_counter) -> "Telemetry":
@@ -112,16 +120,29 @@ class TelemetrySession:
         self.label = label
         self._clock = clock
         self._by_rank: dict[int, Telemetry] = {}
+        self._finalized: dict[int, float] = {}
         self._lock = threading.Lock()
+        #: attached :class:`~repro.observe.live.plane.LivePlane`, if any
+        #: (set by the plane itself; new ranks bind to it on creation)
+        self.live = None
 
     # -- per-rank handles ----------------------------------------------
     def rank(self, rank: int) -> Telemetry:
-        """Get or create the bundle for `rank`."""
+        """Get or create the bundle for `rank`.
+
+        Creation is lazy, so a fleet member that joins mid-run gets a
+        fresh track whose epoch is its join time — the pre-join gap
+        never appears as idle span time in the merged trace.
+        """
         with self._lock:
             tel = self._by_rank.get(rank)
-            if tel is None:
+            created = tel is None
+            if created:
                 tel = self._by_rank[rank] = Telemetry.create(rank, clock=self._clock)
-            return tel
+            live = self.live
+        if created and live is not None:
+            live.bind(tel)
+        return tel
 
     @contextmanager
     def activate(self, rank: int):
@@ -137,6 +158,37 @@ class TelemetrySession:
     def telemetries(self) -> list[Telemetry]:
         with self._lock:
             return [self._by_rank[r] for r in sorted(self._by_rank)]
+
+    # -- membership churn ----------------------------------------------
+    def finalize_rank(self, rank: int, at: float | None = None) -> bool:
+        """Close rank `rank`'s track at detection time (dead endpoint).
+
+        Records a ``track.finalized`` instant on the track and pins
+        its end time, so the merged trace shows exactly when the
+        member was declared lost rather than letting its track dangle.
+        Idempotent; returns False for a rank this session never saw.
+        """
+        with self._lock:
+            tel = self._by_rank.get(rank)
+            if tel is None:
+                return False
+            if rank in self._finalized:
+                return True
+            at = self._clock() if at is None else at
+            self._finalized[rank] = at
+        tel.tracer.instant("track.finalized", rank=rank)
+        return True
+
+    def track_meta(self) -> dict[int, dict]:
+        """Per-rank track lifecycle: start epoch and finalize time."""
+        with self._lock:
+            return {
+                rank: {
+                    "started": tel.tracer.epoch,
+                    "finalized": self._finalized.get(rank),
+                }
+                for rank, tel in sorted(self._by_rank.items())
+            }
 
     # -- merged views --------------------------------------------------
     def events(self) -> list:

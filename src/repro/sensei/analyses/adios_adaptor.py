@@ -18,6 +18,8 @@ import json
 
 import numpy as np
 
+from repro.observe.live.correlate import StepTag
+from repro.observe.session import get_telemetry
 from repro.parallel.comm import Communicator
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.data_adaptor import DataAdaptor
@@ -101,6 +103,16 @@ class ADIOSAnalysisAdaptor(AnalysisAdaptor):
         engine = self.engine
         engine.set_step_info(data.get_data_time_step(), data.get_data_time())
         engine.begin_step()
+        live = get_telemetry().live
+        if live.enabled:
+            # correlation tag rides the RBP2 attribute header; the
+            # consumer side decodes it to stitch the step's timeline
+            tag = StepTag(
+                run_id=live.run_id,
+                step=data.get_data_time_step(),
+                stream=self.comm.rank,
+            )
+            engine.put_attribute("corr", tag.encode())
         engine.put_attribute("mesh_name", self.mesh_name)
         engine.put_attribute("arrays", ",".join(self.arrays))
         engine.put_attribute("extra", json.dumps(meta.extra))

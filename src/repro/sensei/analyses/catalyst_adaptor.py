@@ -18,6 +18,7 @@ Adaptor for rendering tasks."  Here the adaptor
 from __future__ import annotations
 
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
@@ -219,16 +220,20 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
         step = data.get_data_time_step()
         time = data.get_data_time()
         tel = get_telemetry()
+        live = tel.live
         if self.compositing != "gather" and self.comm.size > 1:
             # sort-last: render local fragments, composite framebuffers
             from repro.catalyst.compositor import render_composited
 
+            t0 = perf_counter() if live.enabled else 0.0
             with self.watch.phase("gather"), tel.tracer.span(
                 "catalyst.fragments", step=step
             ):
                 gdims, gorigin, gspacing, fragments = local_uniform_fragments(
                     data, self.mesh_name, self.arrays
                 )
+            if live.enabled:
+                live.stage("composite", step, t0, perf_counter())
             local_bytes = sum(
                 vol.nbytes
                 for _origin, _dims, payload in fragments
@@ -236,6 +241,7 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
             )
             self.peak_staging_bytes = max(self.peak_staging_bytes, local_bytes)
             tel.memory.observe("catalyst.framebuffer", local_bytes)
+            t0 = perf_counter() if live.enabled else 0.0
             with self.watch.phase("render"), tel.tracer.span(
                 "catalyst.render", step=step, compositing=self.compositing
             ):
@@ -250,35 +256,49 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
                     time,
                     method=self.compositing,
                 )
+            if live.enabled:
+                live.stage("render", step, t0, perf_counter())
         else:
+            t0 = perf_counter() if live.enabled else 0.0
             with self.watch.phase("gather"), tel.tracer.span(
                 "catalyst.gather", step=step
             ):
                 image = gather_uniform_volume(
                     self.comm, data, self.mesh_name, self.arrays
                 )
+            if live.enabled:
+                live.stage("composite", step, t0, perf_counter())
             outputs = None
             if image is not None:
                 self.peak_staging_bytes = max(
                     self.peak_staging_bytes, image.nbytes
                 )
                 tel.memory.observe("catalyst.framebuffer", image.nbytes)
+                t0 = perf_counter() if live.enabled else 0.0
                 with self.watch.phase("render"), tel.tracer.span(
                     "catalyst.render", step=step
                 ):
                     outputs = self.render(image, step, time)
+                if live.enabled:
+                    live.stage("render", step, t0, perf_counter())
         if outputs is not None:
             self.output_dir.mkdir(parents=True, exist_ok=True)
             with self.watch.phase("write"), tel.tracer.span("catalyst.write", step=step):
                 written = 0
                 for name, rgb in outputs:
+                    t0 = perf_counter() if live.enabled else 0.0
                     data = encode_png(rgb)
+                    if live.enabled:
+                        t1 = perf_counter()
+                        live.stage("encode", step, t0, t1)
                     path = self.output_dir / f"{name}_{step:06d}.png"
                     path.write_bytes(data)
                     written += len(data)
                     self.images_written += 1
                     if self.publisher is not None:
                         self.publisher(name, step, time, data)
+                    if live.enabled:
+                        live.stage("deliver", step, t1, perf_counter())
                 self.image_bytes += written
             if tel.enabled:
                 tel.metrics.counter(

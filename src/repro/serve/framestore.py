@@ -74,6 +74,7 @@ class FrameStore:
         self._lock = threading.Lock()
         self.frames_stored = 0
         self.frames_deduped = 0
+        self.peak_payload_bytes = 0
 
     # -- writing -----------------------------------------------------------
     def put(
@@ -113,6 +114,7 @@ class FrameStore:
             self._latest[stream] = frame
             self.frames_stored += 1
             total = self._payload_bytes_locked()
+            self.peak_payload_bytes = max(self.peak_payload_bytes, total)
         get_telemetry().memory.observe("serve.framestore", total)
         return frame
 
@@ -159,6 +161,7 @@ class FrameStore:
                 "frames_stored": self.frames_stored,
                 "frames_deduped": self.frames_deduped,
                 "payload_bytes": self._payload_bytes_locked(),
+                "peak_payload_bytes": self.peak_payload_bytes,
                 "history": self.history,
                 "ring_depth": {s: len(r) for s, r in self._rings.items()},
             }

@@ -156,7 +156,10 @@ class FrameHub:
         self.max_publish_s = max(self.max_publish_s, elapsed)
         if elapsed > self.stall_threshold_s:
             self.stalls += 1
+            tel.live.event("publish_stall")
         self.frames_published += 1
+        if tel.live.enabled:
+            tel.live.note_frame(stream, step, t0)
         if tel.enabled:
             tel.metrics.counter(
                 "repro_serve_frames_published_total", "Frames published to the hub"

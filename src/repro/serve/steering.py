@@ -37,6 +37,7 @@ __all__ = ["SteerCommand", "SteeringBus", "SteeringEndpoint", "STEER_KINDS"]
 
 STEER_KINDS = (
     "pause", "resume", "stop", "isovalue", "colormap", "camera_orbit",
+    "advisory",
 )
 
 
@@ -48,7 +49,9 @@ class SteerCommand:
     - ``colormap``: str, the new colormap name for every spec;
     - ``camera_orbit``: float, degrees to rotate the view direction
       about the vertical (z) axis;
-    - ``pause``/``resume``/``stop``: value unused.
+    - ``pause``/``resume``/``stop``: value unused;
+    - ``advisory``: str, operator guidance (e.g. an SLO watchdog
+      alert) — recorded and surfaced to clients, mutates nothing.
     """
 
     kind: str
@@ -194,3 +197,5 @@ class SteeringEndpoint(AnalysisAdaptor):
                 pipe.view_direction = orbit_direction(
                     pipe.view_direction, float(cmd.value)
                 )
+        # "advisory" intentionally falls through: it is operator
+        # guidance riding the bus, visible in `applied`, never a mutation

@@ -20,7 +20,12 @@ Two transports share the :class:`~repro.serve.session.Session` layer:
     (streamed through :class:`repro.util.apng.ApngWriter`, no
     re-encode);
   - ``POST /steer`` — submit a :class:`~repro.serve.steering.SteerCommand`
-    as JSON ``{"kind": ..., "value": ...}``.
+    as JSON ``{"kind": ..., "value": ...}``;
+  - ``GET /metrics`` / ``/healthz`` / ``/slo`` / ``/timeline?step=N``
+    — the live telemetry plane (Prometheus text, liveness, SLO burn,
+    reconstructed step timelines) when a
+    :class:`~repro.observe.live.plane.LivePlane` is attached.
+    ``/healthz`` answers without one; the rest 404.
 
 Every server registers in a module-level set so the test suite's
 teardown guard (``tests/conftest.py``) can prove no event loop outlives
@@ -114,9 +119,13 @@ class HttpFrameServer:
         status_provider=None,
         frame_poll_s: float = 0.25,
         replay_delay_ms: int = 100,
+        live=None,
     ):
         self.hub = hub
         self.bus = bus
+        #: attached :class:`~repro.observe.live.plane.LivePlane`; serves
+        #: /metrics, /slo and /timeline (``/healthz`` works without one)
+        self.live = live
         self.host = host
         self._requested_port = port
         self.port: int | None = None
@@ -240,6 +249,14 @@ class HttpFrameServer:
         query = dict(parse_qsl(split.query))
         if method == "GET" and path == "/status":
             await self._respond(writer, 200, self._status())
+        elif method == "GET" and path == "/healthz":
+            await self._serve_healthz(writer)
+        elif method == "GET" and path == "/metrics":
+            await self._serve_metrics(writer)
+        elif method == "GET" and path == "/slo":
+            await self._serve_slo(writer)
+        elif method == "GET" and path == "/timeline":
+            await self._serve_timeline(writer, query)
         elif method == "GET" and path.startswith("/frame/"):
             await self._serve_latest(writer, path.removeprefix("/frame/"))
         elif method == "GET" and path.startswith("/stream/"):
@@ -352,6 +369,53 @@ class HttpFrameServer:
         await self._respond(
             writer, 200, {"ok": True, "pending": self.bus.pending}
         )
+
+    # -- live telemetry routes ---------------------------------------------
+    async def _serve_healthz(self, writer) -> None:
+        if self.live is None:
+            # liveness without a plane: the server answering IS the signal
+            await self._respond(
+                writer, 200, {"status": "ok", "run_id": None, "live": False}
+            )
+            return
+        from repro.observe.live.export import healthz_payload
+
+        await self._respond(writer, 200, healthz_payload(self.live))
+
+    async def _serve_metrics(self, writer) -> None:
+        if self.live is None:
+            await self._respond(writer, 404, {"error": "no live plane attached"})
+            return
+        from repro.observe.live.export import prometheus_text
+
+        await self._respond_bytes(
+            writer, prometheus_text(self.live).encode(),
+            "text/plain; version=0.0.4",
+        )
+
+    async def _serve_slo(self, writer) -> None:
+        if self.live is None:
+            await self._respond(writer, 404, {"error": "no live plane attached"})
+            return
+        from repro.observe.live.export import slo_payload
+
+        await self._respond(writer, 200, slo_payload(self.live))
+
+    async def _serve_timeline(self, writer, query: dict) -> None:
+        if self.live is None:
+            await self._respond(writer, 404, {"error": "no live plane attached"})
+            return
+        from repro.observe.live.export import timeline_payload
+
+        try:
+            step = int(query["step"]) if "step" in query else None
+        except ValueError:
+            await self._respond(
+                writer, 400, {"error": f"bad step {query['step']!r}"}
+            )
+            return
+        code, payload = timeline_payload(self.live, step)
+        await self._respond(writer, code, payload)
 
     # -- plumbing ----------------------------------------------------------
     _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",

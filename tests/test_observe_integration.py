@@ -157,24 +157,37 @@ class TestTracedInTransitRun:
 
 class TestOverheadGuard:
     def test_noop_spans_under_5pct_of_solver_run(self):
-        """The no-op default must be invisible next to real solver work."""
+        """The no-op default must be invisible next to real solver work.
+
+        Both sides are best-of-3 with a warmup pass: single
+        measurements of sub-second work on a shared core are coin
+        flips, and one descheduled slice used to fail this test.
+        """
         from repro.nekrs.solver import NekRSSolver
         from repro.parallel import SerialCommunicator
 
-        solver = NekRSSolver(_tiny_case(), SerialCommunicator())
-        t0 = time.perf_counter()
-        solver.run(num_steps=STEPS)
-        run_seconds = time.perf_counter() - t0
+        NekRSSolver(_tiny_case(), SerialCommunicator()).run(num_steps=1)
+        run_seconds = None
+        for _ in range(3):
+            solver = NekRSSolver(_tiny_case(), SerialCommunicator())
+            t0 = time.perf_counter()
+            solver.run(num_steps=STEPS)
+            elapsed = time.perf_counter() - t0
+            run_seconds = elapsed if run_seconds is None else min(
+                run_seconds, elapsed)
 
         # measure the raw per-call cost of the disabled telemetry path
         tel = get_telemetry()
         assert not tel.enabled
         trials = 10_000
-        t0 = time.perf_counter()
-        for _ in range(trials):
-            with tel.tracer.span("solver.step", step=0):
-                pass
-        per_span = (time.perf_counter() - t0) / trials
+        per_span = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for _ in range(trials):
+                with tel.tracer.span("solver.step", step=0):
+                    pass
+            cost = (time.perf_counter() - t0) / trials
+            per_span = cost if per_span is None else min(per_span, cost)
 
         # spans the instrumentation adds per step: step + 4 phases,
         # plus bridge/catalyst spans on in situ steps; 16 is generous
