@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.adios.marshal import StepPayload, marshal_step, unmarshal_step
+from repro.codec import CodecContext
 from repro.faults.errors import (
     CorruptPayloadError,
     EndpointDownError,
@@ -381,6 +382,7 @@ class SSTWriterEngine(Engine):
         broker: SSTBroker,
         writer_rank: int,
         retry: RetryPolicy | None = None,
+        codec=None,
     ):
         super().__init__(name, "w")
         if not 0 <= writer_rank < broker.num_writers:
@@ -388,10 +390,17 @@ class SSTWriterEngine(Engine):
         self.broker = broker
         self.writer_rank = writer_rank
         self.retry = retry
+        self.codec = codec
+        # one encoder context per directed stream: temporal references
+        # plus the raw-vs-wire stats the bench/router read back
+        self.codec_context = CodecContext() if codec is not None else None
         self._staged: dict[str, np.ndarray] = {}
         self._attrs: dict[str, str] = {}
         self._step = 0
         self._time = 0.0
+        # wire-size observables the hybrid router feeds on
+        self.last_wire_bytes = 0
+        self.wire_bytes_total = 0
 
     def set_step_info(self, step: int, time: float) -> None:
         self._step = step
@@ -423,7 +432,9 @@ class SSTWriterEngine(Engine):
             variables=dict(self._staged),
             attributes=dict(self._attrs),
         )
-        data = marshal_step(payload)
+        data = marshal_step(payload, codec=self.codec, context=self.codec_context)
+        self.last_wire_bytes = len(data)
+        self.wire_bytes_total += len(data)
         if live.enabled:
             live.stage(
                 "marshal", self._step, t0, _time.perf_counter(),
@@ -489,6 +500,9 @@ class SSTReaderEngine(Engine):
         self._ended: set[int] = set()
         self._read_step = 0
         self.corrupt_steps = 0
+        # per-writer decode contexts: RBP3 temporal deltas reference the
+        # previous step of the *same* writer's stream
+        self._codec_ctx: dict[int, CodecContext] = {}
 
     def begin_step(self) -> StepStatus:
         super().begin_step()
@@ -503,7 +517,8 @@ class SSTReaderEngine(Engine):
                 self._ended.add(w)
                 continue
             try:
-                payload = self._current[w] = unmarshal_step(raw)
+                ctx = self._codec_ctx.setdefault(w, CodecContext())
+                payload = self._current[w] = unmarshal_step(raw, context=ctx)
                 if live.enabled:
                     live.wire_mark(
                         "got", payload.step, w, _time.perf_counter(), len(raw)
@@ -532,11 +547,13 @@ class SSTReaderEngine(Engine):
 class BPFileWriterEngine(Engine):
     """File-based engine: one BP payload file per (step, rank)."""
 
-    def __init__(self, name: str, directory, writer_rank: int = 0):
+    def __init__(self, name: str, directory, writer_rank: int = 0, codec=None):
         super().__init__(name, "w")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.writer_rank = writer_rank
+        self.codec = codec
+        self.codec_context = CodecContext() if codec is not None else None
         self._staged: dict[str, np.ndarray] = {}
         self._attrs: dict[str, str] = {}
         self._step = 0
@@ -560,7 +577,9 @@ class BPFileWriterEngine(Engine):
             StepPayload(
                 self._step, self._time, self.writer_rank,
                 dict(self._staged), dict(self._attrs),
-            )
+            ),
+            codec=self.codec,
+            context=self.codec_context,
         )
         path = self.directory / f"{self.name}.step{self._step:06d}.rank{self.writer_rank:04d}.bp"
         path.write_bytes(payload)
@@ -580,13 +599,18 @@ class BPFileReaderEngine(Engine):
         self._files = sorted(self.directory.glob(pattern))
         self._index = 0
         self._payload: StepPayload | None = None
+        # file series decode in step order, so one context carries any
+        # temporal references across begin_step calls
+        self.codec_context = CodecContext()
 
     def begin_step(self) -> StepStatus:
         super().begin_step()
         if self._index >= len(self._files):
             self._in_step = False
             return StepStatus.END_OF_STREAM
-        self._payload = unmarshal_step(self._files[self._index].read_bytes())
+        self._payload = unmarshal_step(
+            self._files[self._index].read_bytes(), context=self.codec_context
+        )
         self._index += 1
         return StepStatus.OK
 
@@ -622,11 +646,17 @@ class IO:
             if broker is None:
                 raise ValueError("SST engines need a broker")
             if mode == "w":
-                return SSTWriterEngine(name, broker, kwargs.get("writer_rank", 0))
+                return SSTWriterEngine(
+                    name, broker, kwargs.get("writer_rank", 0),
+                    codec=kwargs.get("codec"),
+                )
             return SSTReaderEngine(name, broker, kwargs.get("writer_ranks", [0]))
         directory = kwargs.get("directory", self.parameters.get("directory", "."))
         if mode == "w":
-            return BPFileWriterEngine(name, directory, kwargs.get("writer_rank", 0))
+            return BPFileWriterEngine(
+                name, directory, kwargs.get("writer_rank", 0),
+                codec=kwargs.get("codec"),
+            )
         return BPFileReaderEngine(name, directory, kwargs.get("writer_rank", 0))
 
 

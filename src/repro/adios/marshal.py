@@ -14,6 +14,17 @@ silently feeding garbage arrays to the analysis side.  Version 1
 (``RBP1``, no checksum) payloads are still readable, so BP files
 written by older runs replay unchanged.
 
+Version 3 payloads (``RBP3``) carry codec-compressed field blocks:
+:func:`marshal_step` takes an optional :class:`~repro.codec.CodecSpec`
+and, when it is active, runs each variable through its per-field
+pipeline (`repro.codec`), writing the codec id and parameters into
+the field header.  The CRC32 covers the *compressed* body — exactly
+the bytes on the wire — so the broker, the fleet's replay cache, and
+BP files all verify what they actually stored.  An inactive/lossless
+spec (or ``codec=None``) emits the plain ``RBP2`` frame, byte
+identical to an uncompressed run, and :func:`unmarshal_step`
+auto-detects all three versions.
+
 The default paths are zero-copy: :func:`marshal_step` sizes the
 payload first and writes every field into one preallocated
 ``bytearray`` through ``memoryview`` slices (no BytesIO growth, no
@@ -30,16 +41,19 @@ from __future__ import annotations
 import io
 import json
 import struct
+import time as _time
 import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.faults.errors import CorruptPayloadError
+from repro.observe.session import get_telemetry
 from repro.perf import config
 
 _MAGIC = b"RBP2"
 _MAGIC_V1 = b"RBP1"
+_MAGIC_V3 = b"RBP3"
 _HEADER = "<qdqI"
 _HEADER_SIZE = struct.calcsize(_HEADER)
 
@@ -131,12 +145,18 @@ def unmarshal_step_reference(data) -> StepPayload:
 
 # -- zero-copy codec ----------------------------------------------------
 
-def marshal_step(payload: StepPayload):
+def marshal_step(payload: StepPayload, codec=None, context=None):
     """Encode a StepPayload to transportable bytes (CRC32-protected).
 
     Returns a ``bytearray`` whose layout is byte-identical to
     :func:`marshal_step_reference`, built with a single allocation.
+    With an *active* :class:`~repro.codec.CodecSpec` the ``RBP3``
+    frame is emitted instead (per-field compressed blocks, CRC over
+    the compressed body); an inactive/lossless spec falls through to
+    the byte-identical ``RBP2`` path.
     """
+    if codec is not None and codec.active:
+        return _marshal_step_v3(payload, codec, context)
     if not config.enabled():
         return marshal_step_reference(payload)
     attrs = json.dumps(payload.attributes).encode()
@@ -178,14 +198,20 @@ def marshal_step(payload: StepPayload):
     return out
 
 
-def unmarshal_step(data) -> StepPayload:
+def unmarshal_step(data, context=None) -> StepPayload:
     """Decode bytes produced by :func:`marshal_step`.
 
     Raises :class:`CorruptPayloadError` when the magic is unknown or
-    the body fails its CRC32 check (v2 payloads); v1 payloads carry no
-    checksum and decode as before.  Variables are read-only views into
-    `data` (see :meth:`StepPayload.ensure_writable`).
+    the body fails its CRC32 check (v2/v3 payloads); v1 payloads carry
+    no checksum and decode as before.  Variables are read-only —
+    views into `data` for v1/v2 and raw v3 blocks, freshly decoded
+    (then frozen) arrays for compressed v3 blocks — so
+    :meth:`StepPayload.ensure_writable` is the single mutation path
+    for every version.  `context` is the per-stream
+    :class:`~repro.codec.CodecContext` temporal-delta decodes need.
     """
+    if bytes(memoryview(data)[:4]) == _MAGIC_V3:
+        return _unmarshal_step_v3(data, context)
     if not config.enabled():
         return unmarshal_step_reference(data)
     payload, _ = _parse(data)
@@ -240,3 +266,119 @@ def _parse(data) -> tuple[StepPayload, dict[str, np.ndarray]]:
                     attributes=attributes),
         variables,
     )
+
+
+# -- RBP3: codec-compressed frames --------------------------------------
+
+def _meter_codec(kind: str, raw: int, wire: int, seconds: float) -> None:
+    """Aggregate raw-vs-wire and codec-time counters on this rank."""
+    tel = get_telemetry()
+    if not tel.enabled:
+        return
+    m = tel.metrics
+    m.counter(
+        "repro_codec_raw_bytes_total", "Uncompressed payload bytes through the codec"
+    ).inc(raw)
+    m.counter(
+        "repro_codec_wire_bytes_total", "Codec-compressed bytes on the wire"
+    ).inc(wire)
+    m.counter(
+        f"repro_codec_{kind}_seconds_total", f"Seconds spent in codec {kind}"
+    ).inc(seconds)
+
+
+def _marshal_step_v3(payload: StepPayload, codec, context) -> bytearray:
+    """Encode the RBP3 frame: per-field codec blocks, CRC over them."""
+    from repro.codec import encode_field
+
+    t0 = _time.perf_counter()
+    attrs = json.dumps(payload.attributes).encode()
+    buf = io.BytesIO()
+    buf.write(struct.pack(_HEADER, payload.step, payload.time, payload.rank,
+                          len(attrs)))
+    buf.write(attrs)
+    buf.write(struct.pack("<I", len(payload.variables)))
+    raw_total = 0
+    for name, arr in payload.variables.items():
+        arr, tag = _normalize_array(np.asarray(arr))
+        raw_total += arr.nbytes
+        cfg = codec.config_for(name, arr.dtype)
+        codec_id, params, data = encode_field(
+            name, arr, cfg, payload.step, context
+        )
+        name_b = name.encode()
+        params_b = json.dumps(params).encode() if params else b"{}"
+        buf.write(struct.pack("<H", len(name_b)))
+        buf.write(name_b)
+        buf.write(tag)
+        buf.write(struct.pack("<B", arr.ndim))
+        buf.write(struct.pack(f"<{arr.ndim}q", *arr.shape))
+        buf.write(struct.pack("<B", codec_id))
+        buf.write(struct.pack("<H", len(params_b)))
+        buf.write(params_b)
+        buf.write(struct.pack("<q", len(data)))
+        buf.write(data)
+    body = buf.getvalue()
+    out = bytearray(8 + len(body))
+    out[0:4] = _MAGIC_V3
+    struct.pack_into("<I", out, 4, zlib.crc32(body) & 0xFFFFFFFF)
+    out[8:] = body
+    _meter_codec("encode", raw_total, len(out), _time.perf_counter() - t0)
+    return out
+
+
+def _unmarshal_step_v3(data, context) -> StepPayload:
+    """Decode an RBP3 frame (CRC over the compressed body)."""
+    from repro.codec import decode_field
+
+    t0 = _time.perf_counter()
+    view = memoryview(data)
+    (stored,) = struct.unpack_from("<I", view, 4)
+    if zlib.crc32(view[8:]) & 0xFFFFFFFF != stored:
+        raise CorruptPayloadError(
+            "BP payload CRC32 mismatch (corrupt or trailing bytes)"
+        )
+    off = 8
+    step, time, rank, attr_len = struct.unpack_from(_HEADER, view, off)
+    off += _HEADER_SIZE
+    attributes = json.loads(bytes(view[off : off + attr_len]).decode())
+    off += attr_len
+    (nvars,) = struct.unpack_from("<I", view, off)
+    off += 4
+    variables: dict[str, np.ndarray] = {}
+    raw_total = 0
+    for _ in range(nvars):
+        (name_len,) = struct.unpack_from("<H", view, off)
+        off += 2
+        name = bytes(view[off : off + name_len]).decode()
+        off += name_len
+        tag = bytes(view[off : off + 2])
+        off += 2
+        dtype = _TAG_DTYPES.get(tag)
+        if dtype is None:
+            raise ValueError(f"unknown dtype tag {tag!r} in payload")
+        (ndim,) = struct.unpack_from("<B", view, off)
+        off += 1
+        shape = struct.unpack_from(f"<{ndim}q", view, off)
+        off += 8 * ndim
+        (codec_id,) = struct.unpack_from("<B", view, off)
+        off += 1
+        (params_len,) = struct.unpack_from("<H", view, off)
+        off += 2
+        params = json.loads(bytes(view[off : off + params_len]).decode())
+        off += params_len
+        (enc_len,) = struct.unpack_from("<q", view, off)
+        off += 8
+        arr = decode_field(
+            name, codec_id, params, view[off : off + enc_len], dtype, shape,
+            step, context,
+        )
+        arr.flags.writeable = False
+        off += enc_len
+        variables[name] = arr
+        raw_total += arr.nbytes
+    if off != len(view):
+        raise ValueError("trailing bytes in BP payload")
+    _meter_codec("decode", raw_total, len(view), _time.perf_counter() - t0)
+    return StepPayload(step=step, time=time, rank=rank, variables=variables,
+                       attributes=attributes)

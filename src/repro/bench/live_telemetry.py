@@ -11,7 +11,7 @@ blows.
 
 ``python -m repro.bench.live_telemetry`` prints the table;
 ``python -m repro bench --gate`` times the instrumented run as the
-``live_telemetry`` gate row (baseline ``BENCH_7.json``), so an
+``live_telemetry`` gate row (baseline ``BENCH_8.json``), so an
 accidental hot-path regression in the collectors fails CI the same
 way a solver regression would.
 """

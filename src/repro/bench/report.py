@@ -16,6 +16,7 @@ from pathlib import Path
 
 from repro.bench import (
     ablations,
+    compression,
     fig2,
     fig3,
     fig5,
@@ -36,6 +37,8 @@ QUICK_PB = dict(ranks=2, steps=4, interval=2, num_pebbles=3, order=3,
                 image_size=192)
 QUICK_RBC = dict(total_ranks=3, steps=4, stream_interval=2, ratio=2,
                  order=3, elements_per_rank=4)
+QUICK_CODEC = dict(rbc_ranks=4, rbc_order=3, pebble_count=3, pebble_order=3,
+                   steps=4)
 
 
 def _section(title: str, table) -> str:
@@ -79,7 +82,12 @@ def build_report(quick: bool = True) -> str:
                           fleet.recovery_slo()))
     parts.append(_section("Fleet — elastic weak scaling",
                           fleet.weak_scaling()))
+    parts.append(_section(
+        "Compression — codec ratios and modeled 1120-rank step",
+        compression.run(measure_kwargs=QUICK_CODEC if quick else None),
+    ))
     serve_kwargs = dict(clients=64, frames=20, workers=4) if quick else {}
+    serve_kwargs["codec"] = "delta-rle"
     parts.append(_section("Serving — multi-client frame fan-out",
                           serving.serving_table(**serve_kwargs)))
     parts.append(_section("Observability — live telemetry plane overhead",

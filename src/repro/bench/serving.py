@@ -51,6 +51,35 @@ def synthetic_frames(count: int = 8, size: int = 64, seed: int = 0) -> list[byte
     return frames
 
 
+def synthetic_field_frames(
+    count: int = 8, size: int = 16, codec: str = "delta-rle",
+    budget: str = "1e-3", seed: int = 0,
+) -> list[tuple[bytes, int]]:
+    """Codec-encoded RBP3 payloads, as rank 0's ``fields`` stream
+    publishes them: a smoothly evolving pressure/temperature pair
+    marshalled through one temporal :class:`CodecContext`.  Returns
+    ``(wire_bytes, raw_nbytes)`` pairs."""
+    from repro.adios.marshal import StepPayload, marshal_step
+    from repro.codec import CodecContext, CodecSpec
+
+    spec = CodecSpec.from_cli(codec, budget, temporal=True)
+    ctx = CodecContext()
+    rng = np.random.default_rng(seed)
+    z, y, x = np.meshgrid(*(np.arange(size, dtype=float),) * 3, indexing="ij")
+    noise = 1e-4 * rng.normal(size=x.shape)
+    frames = []
+    for i in range(count):
+        p = np.cos(0.21 * x + 0.03 * i) * np.sin(0.17 * y) + 0.05 * z + noise
+        t = np.tanh(0.1 * (z - size / 2 + 0.2 * i)) + 0.3 * np.cos(0.2 * x)
+        payload = StepPayload(
+            step=i, time=i * 1e-2, rank=0,
+            variables={"pressure": p, "temperature": t},
+        )
+        raw = sum(v.nbytes for v in payload.variables.values())
+        frames.append((marshal_step(payload, codec=spec, context=ctx), raw))
+    return frames
+
+
 def run_serving_load(
     clients: int = 500,
     frames: int = 60,
@@ -63,6 +92,8 @@ def run_serving_load(
     depth: int = 2,
     payload_size: int = 64,
     publish_interval_s: float = 0.002,
+    codec: str | None = None,
+    codec_budget: str = "1e-3",
 ) -> dict:
     """Drive the hub with a mixed client population; return raw stats.
 
@@ -88,6 +119,13 @@ def run_serving_load(
     }
     churn_idx = {cid: 0 for cid in range(clients)}
     payloads = synthetic_frames(size=payload_size, seed=seed)
+    # with a codec, the publisher mirrors the serve CLI's rank-0
+    # "fields" stream: RBP3 payloads ride the same hub/store path and
+    # the store's interning accounts their raw-vs-wire savings
+    field_payloads = (
+        synthetic_field_frames(codec=codec, budget=codec_budget, seed=seed)
+        if codec else []
+    )
     slow_modulus = max(int(round(1.0 / slow_fraction)), 1) if slow_fraction > 0 else 0
 
     def is_slow(cid: int) -> bool:
@@ -116,6 +154,10 @@ def run_serving_load(
             for i in range(frames):
                 hub.publish("catalyst", step=i, time=i * 1e-2,
                             data=payloads[i % len(payloads)])
+                if field_payloads:
+                    data, raw = field_payloads[i % len(field_payloads)]
+                    hub.publish("fields", step=i, time=i * 1e-2, data=data,
+                                encoding="rbp3", raw_nbytes=raw)
                 if publish_interval_s:
                     time.sleep(publish_interval_s)
         done.set()
@@ -250,6 +292,16 @@ def serving_table(**kwargs) -> Table:
          + f" metered, {format_bytes(out['store']['peak_payload_bytes'])}"
            " store peak"]
     )
+    store = out["store"]
+    if store["codec_raw_bytes"]:
+        ratio = store["codec_raw_bytes"] / max(store["codec_wire_bytes"], 1)
+        table.add_row(
+            ["interned codec frames (fields stream)",
+             f"{format_bytes(store['codec_raw_bytes'])} raw -> "
+             f"{format_bytes(store['codec_wire_bytes'])} stored "
+             f"({ratio:.1f}x, {format_bytes(store['codec_bytes_saved'])}"
+             " saved)"]
+        )
     return table
 
 

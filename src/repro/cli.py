@@ -34,7 +34,7 @@ from repro.util.sizes import format_bytes
 
 _CASES = ("cavity", "pebble", "rbc")
 _FIGURES = ("fig2", "fig3", "fig5", "fig6", "storage", "ablations", "telemetry",
-            "fleet", "report")
+            "fleet", "compression", "report")
 
 
 def _build_case(name: str, steps: int | None, order: int | None, par: str | None):
@@ -269,6 +269,8 @@ def cmd_serve(args) -> int:
         attach_serving,
     )
 
+    from repro.codec import CodecContext, CodecSpec
+
     case = _build_case(args.case, args.steps, args.order, None)
     if args.config:
         config_xml = Path(args.config).read_text()
@@ -280,6 +282,17 @@ def cmd_serve(args) -> int:
     outdir = Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
 
+    codec = CodecSpec.from_cli(args.codec, args.error_budget)
+    router = None
+    if args.route != "intransit":
+        from repro.insitu.router import HybridRouter, RouterPolicy
+
+        policy = (
+            RouterPolicy(wire_budget_bytes=args.wire_budget * 2**20)
+            if args.wire_budget else RouterPolicy()
+        )
+        router = HybridRouter(policy, mode=args.route)
+
     # hub and bus are shared-memory singletons across the rank threads,
     # exactly like the SST broker in the in-transit topology
     hub = FrameHub(history=args.history, max_clients=args.max_clients)
@@ -287,20 +300,63 @@ def cmd_serve(args) -> int:
     server = None
     client = None
     if args.port is not None:
-        server = HttpFrameServer(hub, bus, port=args.port)
+        server = HttpFrameServer(hub, bus, port=args.port, router=router)
         port = server.start()
         print(f"serving on http://127.0.0.1:{port}")
         print("  GET /status, /frame/<stream>, /stream/<stream>, "
-              "/replay/<stream>; POST /steer")
+              "/replay/<stream>; POST /steer"
+              + ("; GET /routes" if router is not None else ""))
     else:
         client = LoopbackClient(hub, bus, depth=args.history,
                                 label="cli-loopback")
 
+    def publish(stream, step, time, data, **kw):
+        """hub.publish, gated by the router when one is configured."""
+        if router is not None:
+            decision = router.decide(step, kw.get("raw_nbytes") or len(data))
+            if decision.route != "intransit":
+                return None
+        frame = hub.publish(stream, step, time, data, **kw)
+        if router is not None:
+            router.observe(kw.get("raw_nbytes") or len(data), len(data))
+        return frame
+
     def body(comm):
+        from repro.adios.marshal import StepPayload, marshal_step
+
         solver = NekRSSolver(case, comm)
         bridge = Bridge(solver, config_xml=config_xml, output_dir=outdir)
         attach_serving(bridge.analysis, hub, bus, comm=comm)
-        reports = solver.run(observer=bridge.observer)
+        if router is not None:
+            # replace the straight hub hook with the routed one
+            for _spec, adaptor in bridge.analysis.adaptors:
+                if getattr(adaptor, "publisher", None) is not None:
+                    adaptor.publisher = publish
+        codec_ctx = CodecContext()
+
+        def observer(s, report):
+            keep = bridge.observer(s, report)
+            if codec is not None and comm.rank == 0:
+                # compress-and-stream the raw fields next to the rendered
+                # frames: rank 0's block on the "fields" hub stream
+                variables = {"pressure": solver.p}
+                if solver.T is not None:
+                    variables["temperature"] = solver.T
+                payload = StepPayload(
+                    step=report.step, time=report.time, rank=0,
+                    variables=variables,
+                )
+                raw = sum(a.nbytes for a in variables.values())
+                data = bytes(marshal_step(payload, codec=codec,
+                                          context=codec_ctx))
+                publish(
+                    "fields", report.step, report.time, data,
+                    encoding="rbp3" if codec.active else "rbp2",
+                    raw_nbytes=raw,
+                )
+            return keep
+
+        reports = solver.run(observer=observer)
         bridge.finalize()
         return {"steps": len(reports), "stopped": bridge.stop_requested}
 
@@ -322,6 +378,14 @@ def cmd_serve(args) -> int:
     stats = hub.stats()
     print(f"hub: {stats['frames_published']} frames published, "
           f"peak {stats['peak_clients']} client(s), {stats['stalls']} stalls")
+    store = stats.get("store", {})
+    if store.get("codec_raw_bytes"):
+        print(f"codec: {format_bytes(store['codec_raw_bytes'])} raw -> "
+              f"{format_bytes(store['codec_wire_bytes'])} stored "
+              f"({format_bytes(store['codec_bytes_saved'])} saved)")
+    if router is not None:
+        counts = router.route_counts
+        print("routes: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
     hub.close()
     return 0
 
@@ -345,6 +409,13 @@ def cmd_intransit(args) -> int:
             initial_active=args.initial_active,
             autoscale=args.autoscale,
         )
+    from repro.codec import CodecSpec
+
+    router_policy = None
+    if args.wire_budget:
+        from repro.insitu.router import RouterPolicy
+
+        router_policy = RouterPolicy(wire_budget_bytes=args.wire_budget * 2**20)
     runner = InTransitRunner(
         case_builder,
         mode=args.mode,
@@ -355,6 +426,9 @@ def cmd_intransit(args) -> int:
         output_dir=args.output,
         image_size=args.size,
         fleet=fleet,
+        codec=CodecSpec.from_cli(args.codec, args.error_budget),
+        route=args.route,
+        router_policy=router_policy,
     )
     results = run_spmd(args.ranks, runner.run)
     sims = [r for r in results if r.role == "simulation"]
@@ -366,6 +440,14 @@ def cmd_intransit(args) -> int:
     for r in sims:
         print(f"  sim {r.rank}: {r.steps} steps, "
               f"streamed {format_bytes(r.stream_bytes)}")
+    codec_stats = sims[0].extra.get("codec") if sims else None
+    if codec_stats and codec_stats["wire_bytes"]:
+        print(f"codec: {format_bytes(codec_stats['raw_bytes'])} raw -> "
+              f"{format_bytes(codec_stats['wire_bytes'])} on the wire "
+              f"({codec_stats['ratio']:.2f}x)")
+    routes = sims[0].extra.get("routes") if sims else None
+    if routes:
+        print("routes: " + ", ".join(f"{k}={v}" for k, v in routes.items()))
     for r in ends:
         print(f"  endpoint {r.rank}: {r.steps} steps, "
               f"received {format_bytes(r.stream_bytes)}, "
@@ -492,14 +574,50 @@ def cmd_bench(args) -> int:
     module = importlib.import_module(f"repro.bench.{args.figure}")
     kwargs = {}
     if args.quick:
-        kwargs["measure_kwargs"] = (
-            dict(total_ranks=3, steps=4, stream_interval=2, ratio=2, order=3,
-                 elements_per_rank=4)
-            if args.figure in ("fig5", "fig6")
-            else dict(ranks=2, steps=4, interval=2, num_pebbles=3, order=3)
-        )
+        if args.figure in ("fig5", "fig6"):
+            kwargs["measure_kwargs"] = dict(
+                total_ranks=3, steps=4, stream_interval=2, ratio=2, order=3,
+                elements_per_rank=4,
+            )
+        elif args.figure == "compression":
+            kwargs["measure_kwargs"] = dict(
+                rbc_ranks=4, rbc_order=3, pebble_count=3, pebble_order=3,
+                steps=4,
+            )
+        else:
+            kwargs["measure_kwargs"] = dict(
+                ranks=2, steps=4, interval=2, num_pebbles=3, order=3
+            )
     print(module.run(**kwargs).render())
     return 0
+
+
+def _add_codec_args(parser) -> None:
+    """The shared --codec / --error-budget / --route flag family."""
+    parser.add_argument(
+        "--codec",
+        choices=("none", "lossless", "delta-rle", "bitplane-rle"),
+        default=None,
+        help="compress streamed field payloads (RBP3 wire frames); "
+             "'lossless' keeps frames byte-identical to an uncompressed run",
+    )
+    parser.add_argument(
+        "--error-budget", default=None,
+        help="per-field bound for lossy codecs: '1e-3' or 'rel:1e-3' "
+             "(range-relative), 'abs:0.05' (absolute); default rel:1e-3",
+    )
+    parser.add_argument(
+        "--route", choices=("insitu", "intransit", "hybrid"),
+        default="intransit",
+        help="visualization routing: stream everything (intransit, the "
+             "default), render on the simulation side (insitu), or let "
+             "the bandwidth-aware router pick per step (hybrid)",
+    )
+    parser.add_argument(
+        "--wire-budget", type=float, default=None, metavar="MIB",
+        help="hybrid route's per-step wire budget in MiB "
+             "(default: the router's built-in budget)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -574,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-clients", type=int, default=None,
                        help="refuse connections beyond this many clients")
     serve.add_argument("--output", default="serve_output")
+    _add_codec_args(serve)
     serve.set_defaults(fn=cmd_serve)
 
     intransit = sub.add_parser(
@@ -606,6 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="let the queue-depth autoscaler vary the "
                                 "sim:endpoint ratio (2:1..16:1)")
     intransit.add_argument("--output", default="intransit_output")
+    _add_codec_args(intransit)
     intransit.set_defaults(fn=cmd_intransit)
 
     observe = sub.add_parser(
@@ -639,9 +759,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="use the smallest measurement workload")
     bench.add_argument("--gate", action="store_true",
-                       help="run the perf regression gate against BENCH_7.json "
+                       help="run the perf regression gate against BENCH_8.json "
                             "(includes the compositing, collectives, recovery, "
-                            "and live-telemetry rows)")
+                            "live-telemetry, and compression rows)")
     bench.add_argument("--update-baseline", action="store_true",
                        help="refresh the gate baselines with current timings")
     bench.set_defaults(fn=cmd_bench)

@@ -1,0 +1,33 @@
+"""repro.codec: pluggable, NumPy-only compression for RBP payloads.
+
+The wire layer (`repro.adios.marshal`) calls :func:`encode_field` /
+:func:`decode_field` per payload variable when a :class:`CodecSpec`
+is active, emitting the self-describing ``RBP3`` frame; everything
+else (broker, fleet replay, serve, bench) just moves the smaller
+bytes.  See docs/compression.md for the pipeline and budget design.
+"""
+
+from repro.codec.pipeline import (
+    CODEC_NAMES,
+    CodecContext,
+    CodecSpec,
+    CodecStats,
+    ErrorBudget,
+    FieldCodecConfig,
+    decode_field,
+    encode_field,
+)
+from repro.codec.stages import CodecError, MissingReferenceError
+
+__all__ = [
+    "CODEC_NAMES",
+    "CodecContext",
+    "CodecError",
+    "CodecSpec",
+    "CodecStats",
+    "ErrorBudget",
+    "FieldCodecConfig",
+    "MissingReferenceError",
+    "decode_field",
+    "encode_field",
+]

@@ -1,0 +1,538 @@
+"""Per-field codec pipelines: budgets, specs, contexts, stats.
+
+A :class:`CodecSpec` names, per field (with a float-field default),
+which pipeline to run and under what :class:`ErrorBudget`.  The
+pipelines compose the :mod:`repro.codec.stages` primitives:
+
+``delta-rle``
+    quantize under the budget -> delta (spatial along the fastest
+    axis, or temporal vs. the previous step's quanta when enabled and
+    a compatible reference exists) -> zero-gap RLE/varint.
+``bitplane-rle``
+    truncate float mantissas to the budget's precision -> byte-plane
+    shuffle -> zero-gap RLE/varint.  Pointwise-relative, no quantizer
+    overflow to worry about.
+``raw``
+    verbatim bytes — the lossless path, and the automatic fallback
+    whenever a lossy pipeline cannot honor its bound (non-finite
+    values, quantizer overflow) or would not actually shrink the
+    field.
+
+Every encode is self-describing: the per-field params that went into
+the wire block are all a decoder needs (plus, for temporal deltas
+only, the previous step's quanta from a :class:`CodecContext`).
+:func:`decode_field` dispatches to the stages' reference decoders
+under :func:`repro.perf.naive_mode`, so the whole decode side has a
+naive-mode twin.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import struct
+import threading
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.stages import (
+    CodecError,
+    MissingReferenceError,
+    byte_shuffle,
+    byte_unshuffle,
+    delta_decode,
+    delta_encode,
+    dequantize,
+    mantissa_bits,
+    quantize,
+    rle_decode,
+    rle_encode,
+    truncate_mantissa,
+)
+
+__all__ = [
+    "ErrorBudget",
+    "FieldCodecConfig",
+    "CodecSpec",
+    "CodecContext",
+    "CodecStats",
+    "encode_field",
+    "decode_field",
+    "CODEC_NAMES",
+]
+
+#: wire codec ids (u8 in the RBP3 field block)
+RAW, CONSTANT, DELTA_RLE, BITPLANE_RLE = 0, 1, 2, 3
+CODEC_NAMES = {RAW: "raw", CONSTANT: "constant", DELTA_RLE: "delta-rle",
+               BITPLANE_RLE: "bitplane-rle"}
+_CODEC_IDS = {v: k for k, v in CODEC_NAMES.items()}
+
+_FLOAT_DTYPES = (np.dtype("<f4"), np.dtype("<f8"))
+
+#: variable families that define the mesh itself (see the ADIOS
+#: analysis adaptor's put() names); always lossless under from_cli
+_GEOMETRY_GLOBS = ("*/geom", "*/points", "*/cells", "geom", "points", "cells")
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Per-field error bound: absolute, range-relative, or both.
+
+    The effective absolute bound for an array is the tighter of
+    ``absolute`` and ``relative * (max - min)``; with neither set the
+    budget is lossless and fields pass through raw.
+    """
+
+    absolute: float | None = None
+    relative: float | None = None
+
+    def __post_init__(self):
+        for name in ("absolute", "relative"):
+            v = getattr(self, name)
+            if v is not None and (v <= 0 or not np.isfinite(v)):
+                raise ValueError(f"{name} error bound must be positive, got {v!r}")
+
+    @property
+    def lossless(self) -> bool:
+        return self.absolute is None and self.relative is None
+
+    def bound_for(self, arr: np.ndarray) -> float | None:
+        """Effective absolute bound for `arr`; None means lossless."""
+        if self.lossless:
+            return None
+        bounds = []
+        if self.absolute is not None:
+            bounds.append(self.absolute)
+        if self.relative is not None:
+            finite = arr[np.isfinite(arr)] if arr.size else arr
+            vrange = float(finite.max() - finite.min()) if finite.size else 0.0
+            bounds.append(self.relative * vrange)
+        return min(bounds)
+
+
+@dataclass(frozen=True)
+class FieldCodecConfig:
+    """How one field is encoded."""
+
+    codec: str = "delta-rle"
+    budget: ErrorBudget = field(default_factory=ErrorBudget)
+    temporal: bool = False      # delta vs previous step when possible
+
+    def __post_init__(self):
+        if self.codec not in _CODEC_IDS:
+            raise ValueError(
+                f"unknown codec {self.codec!r}; choose from {sorted(_CODEC_IDS)}"
+            )
+
+
+class CodecSpec:
+    """Which pipeline each payload field runs through.
+
+    ``default`` applies to float fields without an explicit entry;
+    integer/uint fields always pass through raw (they are ids and
+    connectivity — never lossy).  A spec whose default and field table
+    are all lossless is *inactive*: :func:`repro.adios.marshal.
+    marshal_step` then emits the plain ``RBP2`` frame, byte-identical
+    to an uncompressed run.
+    """
+
+    def __init__(
+        self,
+        default: FieldCodecConfig | None = None,
+        fields: dict[str, FieldCodecConfig] | None = None,
+        name: str = "custom",
+    ):
+        self.default = default
+        self.fields = dict(fields or {})
+        self.name = name
+
+    @property
+    def active(self) -> bool:
+        """False when every field would pass through losslessly raw."""
+        configs = list(self.fields.values())
+        if self.default is not None:
+            configs.append(self.default)
+        return any(
+            c.codec != "raw" and not c.budget.lossless for c in configs
+        )
+
+    def config_for(self, name: str, dtype) -> FieldCodecConfig | None:
+        """The pipeline for one field; None means raw passthrough.
+
+        `fields` keys match exactly first, then as glob patterns in
+        insertion order, so ``*/geom``-style entries can pin whole
+        variable families (geometry!) to the raw path.
+        """
+        cfg = self.fields.get(name)
+        if cfg is None:
+            for pattern, pcfg in self.fields.items():
+                if fnmatch.fnmatchcase(name, pattern):
+                    cfg = pcfg
+                    break
+        if cfg is None:
+            cfg = self.default
+        if cfg is None or np.dtype(dtype) not in _FLOAT_DTYPES:
+            return None
+        return cfg
+
+    @classmethod
+    def lossless(cls) -> "CodecSpec":
+        """The identity spec: marshal emits byte-identical RBP2."""
+        return cls(default=None, name="lossless")
+
+    @classmethod
+    def from_cli(
+        cls, codec: str | None, error_budget: str | float | None = None,
+        temporal: bool = False,
+    ) -> "CodecSpec | None":
+        """Build a spec from ``--codec`` / ``--error-budget`` strings.
+
+        ``--error-budget`` accepts ``1e-3`` (relative), ``rel:1e-3``
+        or ``abs:0.05``; the default is relative 1e-3.
+        """
+        if codec is None or codec == "none":
+            return None
+        if codec == "lossless":
+            return cls.lossless()
+        if codec not in _CODEC_IDS or codec in ("constant",):
+            raise ValueError(
+                f"unknown codec {codec!r}; choose from "
+                "lossless, delta-rle, bitplane-rle"
+            )
+        budget = ErrorBudget(relative=1e-3)
+        if error_budget is not None:
+            text = str(error_budget)
+            if text.startswith("abs:"):
+                budget = ErrorBudget(absolute=float(text[4:]))
+            elif text.startswith("rel:"):
+                budget = ErrorBudget(relative=float(text[4:]))
+            else:
+                budget = ErrorBudget(relative=float(text))
+        return cls(
+            default=FieldCodecConfig(codec=codec, budget=budget,
+                                     temporal=temporal),
+            # geometry defines where every sample lives — a lossy mesh
+            # is a different mesh, so these channels always go raw
+            fields={p: FieldCodecConfig(codec="raw") for p in _GEOMETRY_GLOBS},
+            name=codec,
+        )
+
+
+@dataclass
+class CodecStats:
+    """Raw-vs-wire accounting, aggregated and per field."""
+
+    raw_bytes: int = 0
+    wire_bytes: int = 0
+    encode_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    fields: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+    def record(self, name: str, raw: int, wire: int, seconds: float,
+               kind: str, codec_id: int) -> None:
+        if kind == "encode":
+            self.raw_bytes += raw
+            self.wire_bytes += wire
+            self.encode_seconds += seconds
+        else:
+            self.decode_seconds += seconds
+        entry = self.fields.setdefault(
+            name,
+            {"raw_bytes": 0, "wire_bytes": 0, "encode_seconds": 0.0,
+             "decode_seconds": 0.0, "codec": CODEC_NAMES[codec_id]},
+        )
+        entry["codec"] = CODEC_NAMES[codec_id]
+        if kind == "encode":
+            entry["raw_bytes"] += raw
+            entry["wire_bytes"] += wire
+            entry["encode_seconds"] += seconds
+        else:
+            entry["decode_seconds"] += seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "raw_bytes": self.raw_bytes,
+            "wire_bytes": self.wire_bytes,
+            "ratio": self.ratio,
+            "encode_seconds": self.encode_seconds,
+            "decode_seconds": self.decode_seconds,
+            "fields": {k: dict(v) for k, v in self.fields.items()},
+        }
+
+
+class CodecContext:
+    """Per-stream codec state: temporal references plus stats.
+
+    One context per directed stream (one per writer engine, one per
+    writer rank on the reader side).  Thread-safe so a broker-shared
+    decode context survives concurrent pollers, though the fleet
+    decodes each writer's stream in ingest order anyway.
+    """
+
+    def __init__(self):
+        self.stats = CodecStats()
+        self._prev: dict[str, tuple[int, float, np.ndarray]] = {}
+        self._lock = threading.Lock()
+
+    def remember(self, name: str, step: int, qstep: float, q: np.ndarray) -> None:
+        with self._lock:
+            self._prev[name] = (step, qstep, q)
+
+    def reference(self, name: str) -> tuple[int, float, np.ndarray] | None:
+        with self._lock:
+            return self._prev.get(name)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._prev.clear()
+
+
+def _keep_bits_for(budget: ErrorBudget, arr: np.ndarray) -> int:
+    """Mantissa bits to keep so truncation honors the budget.
+
+    Truncating to k bits bounds pointwise relative error by ``2**-k``.
+    A relative budget maps directly; an absolute budget maps through
+    the field's max magnitude (|err| <= 2**-k * max|x|).
+    """
+    rel = budget.relative
+    if rel is None:
+        finite = np.abs(arr[np.isfinite(arr)]) if arr.size else arr
+        vmax = float(finite.max()) if np.size(finite) else 0.0
+        if vmax == 0.0 or budget.absolute is None:
+            return mantissa_bits(arr.dtype)
+        rel = budget.absolute / vmax
+    if rel >= 1.0:
+        return 1
+    return int(np.ceil(np.log2(1.0 / rel)))
+
+
+def _encode_raw(arr: np.ndarray) -> tuple[int, dict, bytes]:
+    return RAW, {}, np.ascontiguousarray(arr).tobytes()
+
+
+#: per-plane storage tags in the bit-plane stream
+_PLANE_ZERO, _PLANE_RAW, _PLANE_RLE = 0, 1, 2
+
+
+def _bitplane_encode(truncated: np.ndarray) -> bytes:
+    """Shuffle to byte planes, then store each plane as cheaply as it goes.
+
+    Mantissa truncation zeroes whole low-order byte planes, which cost
+    one tag byte here; the surviving planes are kept raw unless their
+    zero-gap RLE is strictly smaller.  Layout: one tag byte per plane
+    (itemsize of them), then each kept plane's block — RLE blocks are
+    preceded by their ``<q`` length, raw blocks are exactly ``n`` bytes.
+    """
+    shuffled = np.frombuffer(byte_shuffle(truncated), dtype=np.uint8)
+    n = truncated.size
+    itemsize = truncated.dtype.itemsize
+    tags = bytearray(itemsize)
+    blob = bytearray()
+    for i in range(itemsize):
+        plane = shuffled[i * n:(i + 1) * n]
+        if not plane.any():
+            tags[i] = _PLANE_ZERO
+            continue
+        packed = rle_encode(plane.astype(np.int64))
+        if len(packed) + 8 < n:
+            tags[i] = _PLANE_RLE
+            blob += struct.pack("<q", len(packed)) + packed
+        else:
+            tags[i] = _PLANE_RAW
+            blob += plane.tobytes()
+    return bytes(tags) + bytes(blob)
+
+
+def _bitplane_decode(data: bytes, dtype: np.dtype, count: int) -> np.ndarray:
+    """Reassemble byte planes written by :func:`_bitplane_encode`."""
+    itemsize = dtype.itemsize
+    if len(data) < itemsize:
+        raise CodecError("bit-plane stream shorter than its tag header")
+    tags = data[:itemsize]
+    off = itemsize
+    planes = np.zeros(itemsize * count, dtype=np.uint8)
+    for i, tag in enumerate(tags):
+        if tag == _PLANE_ZERO:
+            continue
+        if tag == _PLANE_RAW:
+            if off + count > len(data):
+                raise CodecError("raw byte plane truncated")
+            planes[i * count:(i + 1) * count] = np.frombuffer(
+                data, dtype=np.uint8, count=count, offset=off
+            )
+            off += count
+        elif tag == _PLANE_RLE:
+            if off + 8 > len(data):
+                raise CodecError("RLE byte plane truncated")
+            (plen,) = struct.unpack_from("<q", data, off)
+            off += 8
+            if plen < 0 or off + plen > len(data):
+                raise CodecError("RLE byte plane truncated")
+            vals = rle_decode(data[off:off + plen])
+            off += plen
+            if vals.size != count or (
+                vals.size and (vals.min() < 0 or vals.max() > 0xFF)
+            ):
+                raise CodecError("RLE byte plane holds non-byte values")
+            planes[i * count:(i + 1) * count] = vals.astype(np.uint8)
+        else:
+            raise CodecError(f"unknown byte-plane tag {tag}")
+    if off != len(data):
+        raise CodecError("bit-plane stream has trailing bytes")
+    return byte_unshuffle(planes.tobytes(), dtype, count)
+
+
+def encode_field(
+    name: str,
+    arr: np.ndarray,
+    cfg: FieldCodecConfig | None,
+    step: int,
+    context: CodecContext | None = None,
+) -> tuple[int, dict, bytes]:
+    """Encode one field; returns ``(codec_id, params, wire_bytes)``.
+
+    Falls back to the raw (lossless) block whenever the configured
+    pipeline cannot honor its bound or would not shrink the field, so
+    a decoded payload is never worse than its budget *and* never
+    larger than ~its raw size.
+    """
+    t0 = _time.perf_counter()
+    arr = np.ascontiguousarray(arr)
+    codec_id, params, data = _encode_field(name, arr, cfg, step, context)
+    if context is not None:
+        context.stats.record(
+            name, arr.nbytes, len(data), _time.perf_counter() - t0,
+            "encode", codec_id,
+        )
+    return codec_id, params, data
+
+
+def _encode_field(name, arr, cfg, step, context):
+    if cfg is None or cfg.codec == "raw" or cfg.budget.lossless:
+        return _encode_raw(arr)
+    if arr.size == 0:
+        return _encode_raw(arr)
+    if not np.isfinite(arr).all():
+        return _encode_raw(arr)        # NaN/Inf: only raw is exact
+    bound = cfg.budget.bound_for(arr)
+    if bound is None:
+        return _encode_raw(arr)
+    vmin = float(arr.min())
+    if vmin == float(arr.max()):
+        # constant field: one value reconstructs it exactly
+        return CONSTANT, {"v": vmin}, b""
+    if bound <= 0:
+        return _encode_raw(arr)
+
+    if cfg.codec == "bitplane-rle":
+        keep = _keep_bits_for(cfg.budget, arr)
+        if keep >= mantissa_bits(arr.dtype):
+            return _encode_raw(arr)
+        truncated = truncate_mantissa(arr, keep)
+        data = _bitplane_encode(truncated)
+        if len(data) >= arr.nbytes:
+            return _encode_raw(arr)
+        return BITPLANE_RLE, {"k": keep}, data
+
+    # delta-rle: quantize under the bound, then the cheapest valid delta
+    qstep = 2.0 * bound
+    mode, ref_step, ref = "s", None, None
+    if cfg.temporal and context is not None:
+        ref = context.reference(name)
+        # reuse the reference's step when it is at least as tight as the
+        # one this step needs — the bound still holds and the temporal
+        # chain survives small per-step drifts in the field's range.
+        # But not *arbitrarily* tighter: a spin-up field whose range has
+        # since grown (pebble-bed pressure) would drag a uselessly fine
+        # early-step qstep through the whole run and quantize itself out
+        # of compressibility, so a reference finer than a quarter of
+        # today's step re-seeds the chain spatially instead.
+        if ref is not None and 0.25 * qstep <= ref[1] <= qstep \
+                and ref[2].shape == arr.shape:
+            qstep = ref[1]
+            mode, ref_step = "t", ref[0]
+    try:
+        q = quantize(arr, qstep)
+    except CodecError:
+        return _encode_raw(arr)
+    if mode == "t":
+        deltas = (q - ref[2]).ravel()
+    else:
+        deltas = delta_encode(q)
+    if context is not None:
+        context.remember(name, step, qstep, q)
+    data = rle_encode(deltas)
+    if len(data) >= arr.nbytes:
+        return _encode_raw(arr)
+    params = {"q": qstep, "m": mode}
+    if ref_step is not None:
+        params["ref"] = ref_step
+    return DELTA_RLE, params, data
+
+
+def decode_field(
+    name: str,
+    codec_id: int,
+    params: dict,
+    data: bytes,
+    dtype,
+    shape: tuple[int, ...],
+    step: int,
+    context: CodecContext | None = None,
+) -> np.ndarray:
+    """Invert :func:`encode_field` for one wire block.
+
+    Raw blocks return a zero-copy view of `data` when possible; lossy
+    blocks return freshly materialized arrays.  Temporal deltas need
+    `context` to hold the reference step's quanta and raise
+    :class:`MissingReferenceError` otherwise.  All stage decoders
+    dispatch to their pure-Python references under ``naive_mode``.
+    """
+    t0 = _time.perf_counter()
+    dtype = np.dtype(dtype)
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if codec_id == RAW:
+        arr = np.frombuffer(data, dtype=dtype)
+        if arr.size != count:
+            raise CodecError("raw block has the wrong length")
+        arr = arr.reshape(shape)
+    elif codec_id == CONSTANT:
+        arr = np.full(shape, params["v"], dtype=dtype)
+    elif codec_id == BITPLANE_RLE:
+        arr = _bitplane_decode(data, dtype, count).reshape(shape)
+    elif codec_id == DELTA_RLE:
+        deltas = rle_decode(data)
+        if deltas.size != count:
+            raise CodecError("delta block has the wrong length")
+        qstep = float(params["q"])
+        if params.get("m") == "t":
+            if context is None:
+                raise MissingReferenceError(
+                    f"temporal delta for {name!r} needs a decode context"
+                )
+            ref = context.reference(name)
+            if ref is None or ref[0] != params.get("ref") or ref[1] != qstep \
+                    or ref[2].size != count:
+                raise MissingReferenceError(
+                    f"temporal delta for {name!r} references step "
+                    f"{params.get('ref')} which this context has not decoded"
+                )
+            q = (ref[2].ravel() + deltas).reshape(shape)
+        else:
+            q = delta_decode(deltas).reshape(shape)
+        if context is not None:
+            context.remember(name, step, qstep, q)
+        arr = dequantize(q, qstep, dtype)
+    else:
+        raise CodecError(f"unknown codec id {codec_id}")
+    if context is not None:
+        context.stats.record(
+            name, arr.nbytes, len(data), _time.perf_counter() - t0,
+            "decode", codec_id,
+        )
+    return arr

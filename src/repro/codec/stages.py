@@ -1,0 +1,380 @@
+"""Codec stages: the NumPy-only primitives field pipelines compose.
+
+Every stage is a pure function over arrays/bytes with an exact inverse
+(delta, varint, RLE, byte-plane shuffle) or a bounded-error inverse
+(quantization, mantissa truncation).  The *decoders* carry two
+implementations, the gate's idiom: a vectorized NumPy path and a
+retained pure-Python ``*_reference`` path dispatched through
+``repro.perf.config`` — under :func:`repro.perf.naive_mode` every
+decode below runs the reference code, and the equivalence tests assert
+the outputs match bit for bit.
+
+Wire conventions (all little-endian):
+
+- *varint*: LEB128 — 7 value bits per byte, high bit = continuation.
+- *zigzag*: signed->unsigned fold (0,-1,1,-2,... -> 0,1,2,3,...), so
+  small-magnitude deltas stay short varints.
+- *RLE*: zero-gap coding — ``varint(n) varint(k) varint(gaps[k])
+  varint(zigzag(values[k]))`` where `gaps` counts the zeros before
+  each nonzero.  Quantized-delta fields are mostly zero, which is the
+  entire entropy win.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.perf import config
+
+__all__ = [
+    "CodecError",
+    "MissingReferenceError",
+    "varint_encode",
+    "varint_decode",
+    "zigzag_encode",
+    "zigzag_decode",
+    "rle_encode",
+    "rle_decode",
+    "delta_encode",
+    "delta_decode",
+    "quantize",
+    "dequantize",
+    "truncate_mantissa",
+    "byte_shuffle",
+    "byte_unshuffle",
+]
+
+_U64 = np.uint64
+_MAX_VARINT_BYTES = 10  # ceil(64 / 7)
+
+
+class CodecError(ValueError):
+    """A codec stage cannot encode/decode the given data."""
+
+
+class MissingReferenceError(CodecError):
+    """A temporal-delta payload arrived without its reference step."""
+
+
+# -- zigzag --------------------------------------------------------------
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Fold int64 into uint64 so small magnitudes become small values."""
+    v = np.asarray(values, dtype=np.int64)
+    return ((v << 1) ^ (v >> 63)).astype(_U64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    u = np.asarray(values, dtype=_U64)
+    return ((u >> _U64(1)) ^ (-(u & _U64(1)).astype(np.int64)).astype(_U64)).astype(
+        np.int64
+    )
+
+
+# -- varint --------------------------------------------------------------
+
+def varint_encode(values: np.ndarray) -> bytes:
+    """LEB128-encode a uint64 array (vectorized byte scatter)."""
+    u = np.ascontiguousarray(values, dtype=_U64)
+    if u.size == 0:
+        return b""
+    nbytes = np.ones(u.shape, dtype=np.int64)
+    for k in range(1, _MAX_VARINT_BYTES):
+        nbytes += (u >= _U64(1 << (7 * k))).astype(np.int64)
+    ends = np.cumsum(nbytes)
+    out = np.zeros(int(ends[-1]), dtype=np.uint8)
+    starts = ends - nbytes
+    rem = u.copy()
+    for k in range(_MAX_VARINT_BYTES):
+        mask = nbytes > k
+        if not mask.any():
+            break
+        idx = starts[mask] + k
+        byte = (rem[mask] & _U64(0x7F)).astype(np.uint8)
+        cont = (nbytes[mask] > k + 1).astype(np.uint8)
+        out[idx] = byte | (cont << 7)
+        rem[mask] >>= _U64(7)
+    return out.tobytes()
+
+
+def varint_decode(data: bytes, count: int) -> np.ndarray:
+    """Decode exactly `count` LEB128 values; returns uint64."""
+    if not config.enabled():
+        return varint_decode_reference(data, count)
+    if count == 0:
+        if len(data):
+            raise CodecError("trailing bytes after varint stream")
+        return np.zeros(0, dtype=_U64)
+    b = np.frombuffer(data, dtype=np.uint8)
+    if b.size == 0:
+        raise CodecError("varint stream truncated")
+    cont = (b & 0x80) != 0
+    if cont[-1]:
+        raise CodecError("varint stream truncated")
+    ends = np.flatnonzero(~cont)
+    if ends.size != count:
+        raise CodecError(
+            f"varint stream holds {ends.size} values, expected {count}"
+        )
+    gid = np.zeros(b.size, dtype=np.int64)
+    gid[1:] = np.cumsum(~cont)[:-1]
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    shift = np.arange(b.size, dtype=np.int64) - starts[gid]
+    if int(shift.max(initial=0)) >= _MAX_VARINT_BYTES:
+        raise CodecError("varint value exceeds 64 bits")
+    vals = np.zeros(count, dtype=_U64)
+    np.bitwise_or.at(
+        vals, gid, (b & 0x7F).astype(_U64) << (shift * 7).astype(_U64)
+    )
+    return vals
+
+
+def varint_decode_reference(data: bytes, count: int) -> np.ndarray:
+    """Reference decoder: the textbook byte-at-a-time LEB128 loop."""
+    vals = []
+    acc = 0
+    shift = 0
+    for byte in data:
+        acc |= (byte & 0x7F) << shift
+        shift += 7
+        if shift > 7 * _MAX_VARINT_BYTES:
+            raise CodecError("varint value exceeds 64 bits")
+        if not byte & 0x80:
+            vals.append(acc & 0xFFFFFFFFFFFFFFFF)
+            acc = 0
+            shift = 0
+    if shift:
+        raise CodecError("varint stream truncated")
+    if len(vals) != count:
+        raise CodecError(
+            f"varint stream holds {len(vals)} values, expected {count}"
+        )
+    return np.array(vals, dtype=_U64)
+
+
+# -- zero-run RLE --------------------------------------------------------
+
+def rle_encode(values: np.ndarray) -> bytes:
+    """Zero-gap-code an int64 array (gaps + zigzag values, varint'd)."""
+    v = np.ascontiguousarray(values, dtype=np.int64).ravel()
+    nz = np.flatnonzero(v)
+    gaps = np.diff(np.concatenate((np.array([-1], dtype=np.int64), nz))) - 1
+    head = varint_encode(np.array([v.size, nz.size], dtype=_U64))
+    return (
+        head
+        + varint_encode(gaps.astype(_U64))
+        + varint_encode(zigzag_encode(v[nz]))
+    )
+
+
+def _rle_split(data: bytes) -> tuple[int, int, bytes]:
+    """Parse the two-varint RLE header; returns (n, k, rest)."""
+    off = 0
+    out = []
+    for _ in range(2):
+        acc = 0
+        shift = 0
+        while True:
+            if off >= len(data):
+                raise CodecError("RLE header truncated")
+            byte = data[off]
+            off += 1
+            acc |= (byte & 0x7F) << shift
+            shift += 7
+            if not byte & 0x80:
+                break
+        out.append(acc)
+    return out[0], out[1], data[off:]
+
+
+def rle_decode(data: bytes) -> np.ndarray:
+    """Invert :func:`rle_encode`; returns a flat int64 array."""
+    if not config.enabled():
+        return rle_decode_reference(data)
+    n, k, rest = _rle_split(data)
+    if k > n:
+        raise CodecError("RLE nonzero count exceeds length")
+    # gaps and values interleave in the stream as two varint blocks; we
+    # must split them by walking k terminators of the first block
+    b = np.frombuffer(rest, dtype=np.uint8)
+    terminators = np.flatnonzero((b & 0x80) == 0)
+    if terminators.size < 2 * k:
+        raise CodecError("RLE stream truncated")
+    split = int(terminators[k - 1]) + 1 if k else 0
+    gaps = varint_decode(rest[:split], k).astype(np.int64)
+    vals = zigzag_decode(varint_decode(rest[split:], k))
+    out = np.zeros(n, dtype=np.int64)
+    if k:
+        pos = np.cumsum(gaps + 1) - 1
+        if pos.size and int(pos[-1]) >= n:
+            raise CodecError("RLE gap runs past the array")
+        out[pos] = vals
+    return out
+
+
+def rle_decode_reference(data: bytes) -> np.ndarray:
+    """Reference decoder: scalar gap walk."""
+    n, k, rest = _rle_split(data)
+    if k > n:
+        raise CodecError("RLE nonzero count exceeds length")
+    stream = varint_decode_reference(rest, 2 * k)
+    gaps = stream[:k]
+    vals = zigzag_decode(stream[k:])
+    out = np.zeros(n, dtype=np.int64)
+    pos = -1
+    for i in range(k):
+        pos += int(gaps[i]) + 1
+        if pos >= n:
+            raise CodecError("RLE gap runs past the array")
+        out[pos] = vals[i]
+    return out
+
+
+# -- delta ---------------------------------------------------------------
+
+def delta_encode(values: np.ndarray) -> np.ndarray:
+    """First-order difference along the fastest (C-contiguous) axis."""
+    v = np.ascontiguousarray(values, dtype=np.int64).ravel()
+    out = np.empty_like(v)
+    if v.size:
+        out[0] = v[0]
+        np.subtract(v[1:], v[:-1], out=out[1:])
+    return out
+
+
+def delta_decode(deltas: np.ndarray) -> np.ndarray:
+    """Invert :func:`delta_encode` (prefix sum)."""
+    if not config.enabled():
+        return delta_decode_reference(deltas)
+    return np.cumsum(np.asarray(deltas, dtype=np.int64), dtype=np.int64)
+
+
+def delta_decode_reference(deltas: np.ndarray) -> np.ndarray:
+    """Reference decoder: scalar running sum."""
+    d = np.asarray(deltas, dtype=np.int64)
+    out = np.empty_like(d)
+    acc = 0
+    for i, v in enumerate(d.tolist()):
+        acc = (acc + v) & 0xFFFFFFFFFFFFFFFF
+        if acc >= 1 << 63:
+            acc -= 1 << 64
+        out[i] = acc
+    return out
+
+
+# -- quantization --------------------------------------------------------
+
+_QMAX = float(1 << 62)
+
+
+def quantize(arr: np.ndarray, step: float) -> np.ndarray:
+    """Uniform scalar quantization: round(arr / step) as int64.
+
+    Raises :class:`CodecError` on non-finite input or when a quantum
+    index would overflow — callers fall back to the lossless path.
+    """
+    if step <= 0 or not np.isfinite(step):
+        raise CodecError(f"quantization step must be positive, got {step!r}")
+    a = np.asarray(arr, dtype=np.float64)
+    if not np.isfinite(a).all():
+        raise CodecError("cannot quantize non-finite values")
+    q = np.rint(a / step)
+    if q.size and float(np.abs(q).max()) >= _QMAX:
+        raise CodecError("quantization overflow (step too small for range)")
+    return q.astype(np.int64)
+
+
+def dequantize(q: np.ndarray, step: float, dtype=np.float64) -> np.ndarray:
+    """Invert :func:`quantize` up to step/2 absolute error."""
+    if not config.enabled():
+        return dequantize_reference(q, step, dtype)
+    return (np.asarray(q, dtype=np.float64) * step).astype(dtype)
+
+
+def dequantize_reference(q: np.ndarray, step: float, dtype=np.float64) -> np.ndarray:
+    """Reference decoder: scalar multiply-accumulate loop."""
+    flat = [float(v) * step for v in np.asarray(q).ravel().tolist()]
+    return np.array(flat, dtype=dtype).reshape(np.asarray(q).shape)
+
+
+# -- bit-plane truncation ------------------------------------------------
+
+_FLOAT_LAYOUT = {
+    np.dtype("<f4"): (np.uint32, 23),
+    np.dtype("<f8"): (np.uint64, 52),
+}
+
+
+def mantissa_bits(dtype) -> int:
+    layout = _FLOAT_LAYOUT.get(np.dtype(dtype))
+    if layout is None:
+        raise CodecError(f"bit-plane truncation needs f4/f8, got {dtype}")
+    return layout[1]
+
+
+def truncate_mantissa(arr: np.ndarray, keep_bits: int) -> np.ndarray:
+    """Zero the low mantissa bits, keeping `keep_bits` of precision.
+
+    Pointwise relative error is bounded by ``2**-keep_bits`` (for
+    ``keep_bits >= 1``); sign, exponent, NaN and Inf survive intact.
+    """
+    a = np.ascontiguousarray(arr)
+    uint_t, mant = _FLOAT_LAYOUT.get(a.dtype, (None, None))
+    if uint_t is None:
+        raise CodecError(f"bit-plane truncation needs f4/f8, got {a.dtype}")
+    keep = int(np.clip(keep_bits, 0, mant))
+    drop = mant - keep
+    if drop == 0:
+        return a.copy()
+    bits = a.view(uint_t)
+    mask = uint_t(~((1 << drop) - 1) & ((1 << (8 * a.dtype.itemsize)) - 1))
+    return (bits & mask).view(a.dtype)
+
+
+def byte_shuffle(arr: np.ndarray) -> bytes:
+    """Transpose an array's bytes into planes (all byte-0s, then 1s...).
+
+    After mantissa truncation the low planes are mostly zero, which
+    turns the RLE stage's zero-gap coding into the actual size win.
+    """
+    a = np.ascontiguousarray(arr)
+    raw = a.view(np.uint8).reshape(-1, a.dtype.itemsize)
+    return np.ascontiguousarray(raw.T).tobytes()
+
+
+def byte_unshuffle(data: bytes, dtype, count: int) -> np.ndarray:
+    """Invert :func:`byte_shuffle` for `count` items of `dtype`."""
+    if not config.enabled():
+        return byte_unshuffle_reference(data, dtype, count)
+    dtype = np.dtype(dtype)
+    if len(data) != count * dtype.itemsize:
+        raise CodecError("byte-plane stream has the wrong length")
+    planes = np.frombuffer(data, dtype=np.uint8).reshape(dtype.itemsize, count)
+    return np.ascontiguousarray(planes.T).reshape(-1).view(dtype)[:count].copy()
+
+
+def byte_unshuffle_reference(data: bytes, dtype, count: int) -> np.ndarray:
+    """Reference decoder: per-item byte gather."""
+    dtype = np.dtype(dtype)
+    size = dtype.itemsize
+    if len(data) != count * size:
+        raise CodecError("byte-plane stream has the wrong length")
+    out = bytearray(count * size)
+    for i in range(count):
+        for plane in range(size):
+            out[i * size + plane] = data[plane * count + i]
+    return np.frombuffer(bytes(out), dtype=dtype).copy()
+
+
+def pack_f64(value: float) -> bytes:
+    """Eight little-endian bytes for one float (constant-field codec)."""
+    return struct.pack("<d", float(value))
+
+
+def unpack_f64(data: bytes) -> float:
+    (v,) = struct.unpack("<d", data)
+    return v

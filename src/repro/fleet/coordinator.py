@@ -45,6 +45,7 @@ from enum import Enum
 
 from repro.adios.engine import EndOfStream, SSTBroker
 from repro.adios.marshal import unmarshal_step
+from repro.codec import CodecContext
 from repro.faults.errors import CorruptPayloadError, EndpointDownError
 from repro.fleet.autoscaler import Autoscaler
 from repro.fleet.membership import EndpointState, FleetMembership
@@ -132,6 +133,9 @@ class FleetCoordinator:
         self._highwater: dict[int, int] = {}     # newest sim step seen
         self._ended: set[int] = set()
         self._geometry: dict[int, object] = {}   # writer -> first payload
+        # per-writer codec state for temporal-delta RBP3 streams; _ingest
+        # decodes each writer's queue in FIFO order, so references stay valid
+        self._codec_ctx: dict[int, CodecContext] = {}
         # step assembly + ledgers
         self._assembly: dict[int, dict] = {}     # sim step -> {writer: payload}
         self.assembled: set[int] = set()
@@ -456,8 +460,10 @@ class FleetCoordinator:
                     break
                 with self._lock:
                     self._got[w] = ordinal + 1
+                with self._lock:
+                    ctx = self._codec_ctx.setdefault(w, CodecContext())
                 try:
-                    payload = unmarshal_step(raw)
+                    payload = unmarshal_step(raw, context=ctx)
                 except CorruptPayloadError:
                     self.broker.stats.record_corrupt()
                     self.broker.stats.faults.try_resolve(

@@ -32,8 +32,10 @@ from repro.fleet import (
     FleetCoordinator,
     FleetEndpoint,
 )
+from repro.codec import CodecSpec
 from repro.insitu.adaptor import NekDataAdaptor
 from repro.insitu.bridge import Bridge
+from repro.insitu.router import HybridRouter, RoutedAnalysis, RouterPolicy
 from repro.insitu.streamed import StreamedDataAdaptor
 from repro.nekrs.config import CaseDefinition
 from repro.nekrs.solver import NekRSSolver
@@ -48,6 +50,7 @@ from repro.sensei.analyses.posthoc_io import VTKPosthocIO
 from repro.catalyst.pipeline import RenderPipeline, RenderSpec
 
 _MODES = ("none", "checkpoint", "catalyst")
+_ROUTES = ("insitu", "intransit", "hybrid")
 
 
 @dataclass
@@ -96,6 +99,9 @@ class InTransitRunner:
         fallback: str = "checkpoint",
         session: TelemetrySession | None = None,
         fleet: FleetConfig | None = None,
+        codec: CodecSpec | None = None,
+        route: str = "intransit",
+        router_policy: RouterPolicy | None = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -103,6 +109,8 @@ class InTransitRunner:
             raise ValueError("ratio must be >= 1")
         if stream_interval < 1:
             raise ValueError("stream_interval must be >= 1")
+        if route not in _ROUTES:
+            raise ValueError(f"route must be one of {_ROUTES}, got {route!r}")
         self.case_builder = case_builder
         self.mode = mode
         self.ratio = ratio
@@ -125,6 +133,9 @@ class InTransitRunner:
         self.fallback = fallback
         self.session = session
         self.fleet = fleet
+        self.codec = codec
+        self.route = route
+        self.router_policy = router_policy
         # rank bodies run in fresh threads where the thread-local perf
         # flag resets to enabled, so the naive_mode() dispatch decision
         # is captured here, at construction (the gate's idiom)
@@ -218,17 +229,35 @@ class InTransitRunner:
 
         bridge = None
         adios = None
+        router = None
+        routed = None
         mesh_name = "uniform" if self.mode == "catalyst" else "mesh"
         if broker is not None:
             engine = SSTWriterEngine(
-                "nekrs-sensei", broker, writer_rank=comm.rank, retry=self.retry
+                "nekrs-sensei", broker, writer_rank=comm.rank,
+                retry=self.retry, codec=self.codec,
             )
             adios = ADIOSAnalysisAdaptor(
                 comm, engine, mesh_name=mesh_name, arrays=self.arrays
             )
+            analysis = adios
+            if self.route != "intransit":
+                # hybrid/in situ routing: each rank holds an identical
+                # router fed with allreduced byte counts, so every rank
+                # streams (or skips) the same steps — see insitu.router
+                router = HybridRouter(self.router_policy, mode=self.route)
+                insitu_analysis = (
+                    self._endpoint_analysis(
+                        comm, out=self.output_dir / f"{self.mode}_insitu"
+                    )
+                    if self.mode == "catalyst" else None
+                )
+                analysis = routed = RoutedAnalysis(
+                    comm, adios, router, insitu=insitu_analysis
+                )
             bridge = Bridge(
                 solver,
-                analysis=adios,
+                analysis=analysis,
                 samples_per_element=self.samples_per_element,
                 fallback=self.fallback,
                 fallback_dir=self.output_dir / "fallback",
@@ -256,7 +285,7 @@ class InTransitRunner:
             if adios is not None and adios.steps_sent
             else 0
         )
-        return InTransitResult(
+        result = InTransitResult(
             role="simulation",
             rank=comm.rank,
             steps=steps,
@@ -272,10 +301,21 @@ class InTransitRunner:
                 "transport_down": bridge.transport_down,
             },
         )
+        if adios is not None and engine.codec_context is not None:
+            result.extra["codec"] = engine.codec_context.stats.as_dict()
+        if router is not None:
+            result.extra["router"] = router.stats()
+            result.extra["routes"] = dict(router.route_counts)
+        if routed is not None:
+            result.extra["streamed_steps"] = routed.streamed_steps
+            result.extra["insitu_steps"] = routed.insitu_steps
+            result.extra["dropped_steps"] = routed.dropped_steps
+        return result
 
     # -- endpoint side ----------------------------------------------------------
-    def _endpoint_analysis(self, comm: Communicator):
-        out = self.output_dir / self.mode
+    def _endpoint_analysis(self, comm: Communicator, out: Path | None = None):
+        if out is None:
+            out = self.output_dir / self.mode
         if self.mode == "checkpoint":
             return VTKPosthocIO(
                 comm,

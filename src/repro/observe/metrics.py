@@ -46,14 +46,38 @@ def _check_name(name: str) -> str:
     return name
 
 
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _merge_label_str(labels: str, const_labels: dict[str, str]) -> str:
+    """Combine a rendered registry label string with per-metric labels."""
+    if not const_labels:
+        return labels
+    inner = labels[1:-1] if labels else ""
+    extra = _render_labels(const_labels)[1:-1]
+    merged = ",".join(x for x in (inner, extra) if x)
+    return "{" + merged + "}"
+
+
 class Counter:
-    """Monotonically increasing count; merges by summation."""
+    """Monotonically increasing count; merges by summation.
+
+    `const_labels` (e.g. ``{"route": "insitu"}``) distinguish samples
+    of the same metric name: each label set is its own registry entry
+    and exports its own sample line.
+    """
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "",
+                 const_labels: dict[str, str] | None = None):
         self.name = _check_name(name)
         self.help = help
+        self.const_labels = dict(const_labels or {})
         self.value = 0.0
         self._lock = threading.Lock()
 
@@ -68,10 +92,14 @@ class Counter:
             self.value += other.value
 
     def samples(self, labels: str) -> list[str]:
+        labels = _merge_label_str(labels, self.const_labels)
         return [f"{self.name}{labels} {_fmt(self.value)}"]
 
     def as_dict(self) -> dict:
-        return {"type": self.kind, "help": self.help, "value": self.value}
+        out = {"type": self.kind, "help": self.help, "value": self.value}
+        if self.const_labels:
+            out["labels"] = dict(self.const_labels)
+        return out
 
 
 class Gauge:
@@ -200,29 +228,37 @@ class MetricsRegistry:
         self._metrics: dict[str, object] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, cls, name: str, *args, **kwargs):
+    def _get_or_create(self, cls, key: str, name: str, *args, **kwargs):
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(key)
             if metric is None:
-                metric = self._metrics[name] = cls(name, *args, **kwargs)
+                metric = self._metrics[key] = cls(name, *args, **kwargs)
             elif not isinstance(metric, cls):
                 raise TypeError(
                     f"metric {name!r} already registered as {metric.kind}"
                 )
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(self, name: str, help: str = "",
+                const_labels: dict[str, str] | None = None) -> Counter:
+        # one registry entry per (name, label set): labeled variants of a
+        # metric accumulate and export independently
+        key = name + _render_labels(const_labels or {})
+        return self._get_or_create(Counter, key, name, help, const_labels)
 
     def gauge(self, name: str, help: str = "", agg: str = "max") -> Gauge:
-        return self._get_or_create(Gauge, name, help, agg)
+        return self._get_or_create(Gauge, name, name, help, agg)
 
     def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> Histogram:
-        return self._get_or_create(Histogram, name, help, buckets)
+        return self._get_or_create(Histogram, name, name, help, buckets)
 
     def __iter__(self):
         with self._lock:
-            return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+            return iter(sorted(
+                self._metrics.values(),
+                key=lambda m: (m.name,
+                               _render_labels(getattr(m, "const_labels", {}))),
+            ))
 
     def __len__(self) -> int:
         with self._lock:
@@ -237,7 +273,8 @@ class MetricsRegistry:
         """Fold `other`'s metrics into this registry (other is unchanged)."""
         for metric in other:
             if isinstance(metric, Counter):
-                mine = self.counter(metric.name, metric.help)
+                mine = self.counter(metric.name, metric.help,
+                                    metric.const_labels or None)
             elif isinstance(metric, Gauge):
                 mine = self.gauge(metric.name, metric.help, metric.agg)
             elif isinstance(metric, Histogram):
@@ -265,17 +302,25 @@ class MetricsRegistry:
         """Prometheus text exposition format (version 0.0.4)."""
         labels = self._label_str()
         lines: list[str] = []
+        seen: set[str] = set()
         for metric in self:
-            if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
-            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if metric.name not in seen:
+                # labeled variants of one name share a single HELP/TYPE
+                seen.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
             lines.extend(metric.samples(labels))
         return "\n".join(lines) + ("\n" if lines else "")
 
     def to_json(self) -> dict:
         return {
             "labels": dict(self.labels),
-            "metrics": {m.name: m.as_dict() for m in self},
+            "metrics": {
+                m.name + _render_labels(getattr(m, "const_labels", {})):
+                    m.as_dict()
+                for m in self
+            },
         }
 
 
@@ -338,7 +383,8 @@ class NullMetricsRegistry:
     enabled = False
     labels: dict = {}
 
-    def counter(self, name: str, help: str = "") -> _NullMetric:
+    def counter(self, name: str, help: str = "",
+                const_labels: dict[str, str] | None = None) -> _NullMetric:
         return _NULL_METRIC
 
     def gauge(self, name: str, help: str = "", agg: str = "max") -> _NullMetric:

@@ -3,7 +3,7 @@
 Runs the gated microbenchmarks twice — optimized and, via
 ``repro.perf.naive_mode``, on the retained reference paths — then
 compares the optimized timings against the committed baseline in
-``BENCH_7.json``.  A kernel that regresses more than
+``BENCH_8.json``.  A kernel that regresses more than
 ``THRESHOLD - 1`` (20%) against its recorded baseline fails the gate.
 
 The file keeps three numbers per kernel so the history stays honest:
@@ -32,7 +32,7 @@ from repro.perf.plans import get_plan_cache
 
 SCHEMA = "repro-bench-gate/1"
 THRESHOLD = 1.2
-BASELINE_FILE = "BENCH_7.json"
+BASELINE_FILE = "BENCH_8.json"
 
 
 # -- gated kernel workloads ---------------------------------------------
@@ -298,6 +298,19 @@ def _kernel_live_telemetry():
     return run
 
 
+def _kernel_compression():
+    from repro.bench.compression import gate_step_seconds, measure_compression
+    from repro.perf import config as perf_config
+
+    # modeled 1120-rank in-transit step with the wire codec in the
+    # path: optimized replays the *measured* delta-rle velocity+
+    # pressure ratio (floor 4x at relative 1e-3, enforced inside);
+    # the reference is the same step uncompressed.  The measurement
+    # is cached, so the warm-up pays for the solves once.
+    measure_compression()
+    return lambda: gate_step_seconds(compressed=perf_config.enabled())
+
+
 KERNELS = {
     "gather_scatter_setup": _kernel_gather_scatter_setup,
     "stiffness_apply": _kernel_stiffness_apply,
@@ -310,6 +323,7 @@ KERNELS = {
     "serving": _kernel_serving,
     "recovery": _kernel_recovery,
     "live_telemetry": _kernel_live_telemetry,
+    "compression": _kernel_compression,
 }
 
 
@@ -391,7 +405,7 @@ def run_gate(
 ) -> GateReport:
     """Measure the gated kernels and compare against the baseline file.
 
-    Writes the refreshed ``BENCH_7.json`` (new kernels adopt their
+    Writes the refreshed ``BENCH_8.json`` (new kernels adopt their
     current timing as baseline; existing baselines are preserved unless
     `update_baseline`).
     """

@@ -44,10 +44,17 @@ class Frame:
     digest: str        # content hash of `data`
     seq: int           # hub-wide publish sequence number
     published_at: float = 0.0   # perf_counter timestamp at publish
+    encoding: str = "png"       # payload encoding ("png", "rbp3", ...)
+    raw_nbytes: int = 0         # pre-codec bytes, when `data` is compressed
 
     @property
     def nbytes(self) -> int:
         return len(self.data)
+
+    @property
+    def bytes_saved(self) -> int:
+        """Bytes the codec shaved off this payload (0 when uncompressed)."""
+        return max(0, self.raw_nbytes - len(self.data))
 
 
 def content_digest(data: bytes) -> str:
@@ -75,11 +82,15 @@ class FrameStore:
         self.frames_stored = 0
         self.frames_deduped = 0
         self.peak_payload_bytes = 0
+        # raw-vs-stored accounting for codec-encoded (non-PNG) frames
+        self.codec_raw_bytes = 0
+        self.codec_wire_bytes = 0
 
     # -- writing -----------------------------------------------------------
     def put(
         self, stream: str, step: int, time: float, data: bytes,
         seq: int, published_at: float = 0.0,
+        encoding: str = "png", raw_nbytes: int = 0,
     ) -> Frame:
         """Store one frame; returns the (possibly payload-shared) Frame."""
         digest = content_digest(data)
@@ -104,7 +115,11 @@ class FrameStore:
             frame = Frame(
                 stream=stream, step=step, time=time, data=payload,
                 digest=digest, seq=seq, published_at=published_at,
+                encoding=encoding, raw_nbytes=raw_nbytes,
             )
+            if raw_nbytes:
+                self.codec_raw_bytes += raw_nbytes
+                self.codec_wire_bytes += len(payload)
             ring = self._rings.get(stream)
             if ring is None:
                 ring = self._rings[stream] = deque()
@@ -164,4 +179,9 @@ class FrameStore:
                 "peak_payload_bytes": self.peak_payload_bytes,
                 "history": self.history,
                 "ring_depth": {s: len(r) for s, r in self._rings.items()},
+                "codec_raw_bytes": self.codec_raw_bytes,
+                "codec_wire_bytes": self.codec_wire_bytes,
+                "codec_bytes_saved": max(
+                    0, self.codec_raw_bytes - self.codec_wire_bytes
+                ),
             }

@@ -127,11 +127,13 @@ class FrameHub:
             ).inc(frame.nbytes)
 
     # -- publishing --------------------------------------------------------
-    def publish(self, stream: str, step: int, time: float, data: bytes) -> Frame:
+    def publish(self, stream: str, step: int, time: float, data: bytes,
+                encoding: str = "png", raw_nbytes: int = 0) -> Frame:
         """Store + fan out one frame.  Non-blocking; the publisher hook.
 
         Signature matches the Catalyst adaptor's ``publisher`` callback:
-        ``publisher(name, step, time, png_bytes)``.
+        ``publisher(name, step, time, png_bytes)``.  Codec-encoded field
+        frames pass ``encoding="rbp3"`` plus their pre-codec size.
         """
         tel = get_telemetry()
         t0 = self._clock()
@@ -140,7 +142,10 @@ class FrameHub:
                 seq = self._seq
                 self._seq += 1
                 sessions = list(self._sessions.values())
-            frame = self.store.put(stream, step, time, data, seq, published_at=t0)
+            frame = self.store.put(
+                stream, step, time, data, seq, published_at=t0,
+                encoding=encoding, raw_nbytes=raw_nbytes,
+            )
             dropped_before = sum(s.stats.dropped for s in sessions)
             share = perf_config.enabled()
             for session in sessions:

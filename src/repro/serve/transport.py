@@ -120,12 +120,16 @@ class HttpFrameServer:
         frame_poll_s: float = 0.25,
         replay_delay_ms: int = 100,
         live=None,
+        router=None,
     ):
         self.hub = hub
         self.bus = bus
         #: attached :class:`~repro.observe.live.plane.LivePlane`; serves
         #: /metrics, /slo and /timeline (``/healthz`` works without one)
         self.live = live
+        #: attached :class:`~repro.insitu.router.HybridRouter`; serves
+        #: the ``GET /routes`` debug view of recent routing decisions
+        self.router = router
         self.host = host
         self._requested_port = port
         self.port: int | None = None
@@ -257,6 +261,8 @@ class HttpFrameServer:
             await self._serve_slo(writer)
         elif method == "GET" and path == "/timeline":
             await self._serve_timeline(writer, query)
+        elif method == "GET" and path == "/routes":
+            await self._serve_routes(writer)
         elif method == "GET" and path.startswith("/frame/"):
             await self._serve_latest(writer, path.removeprefix("/frame/"))
         elif method == "GET" and path.startswith("/stream/"):
@@ -400,6 +406,12 @@ class HttpFrameServer:
         from repro.observe.live.export import slo_payload
 
         await self._respond(writer, 200, slo_payload(self.live))
+
+    async def _serve_routes(self, writer) -> None:
+        if self.router is None:
+            await self._respond(writer, 404, {"error": "no router attached"})
+            return
+        await self._respond(writer, 200, self.router.stats())
 
     async def _serve_timeline(self, writer, query: dict) -> None:
         if self.live is None:

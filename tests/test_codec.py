@@ -1,0 +1,560 @@
+"""Tests for the wire compression codec layer and the hybrid router.
+
+Covers the :mod:`repro.codec` stage primitives (against their
+``naive_mode`` reference twins), the per-field pipelines across the
+edge-case zoo (NaN/Inf, constants, single elements, odd shapes, both
+float widths), the RBP3 frame (round trips, CRC over compressed
+bytes, lossless byte-identity with RBP2, RBP1/RBP2 back-compat,
+geometry pinning, copy-on-write isolation), the
+:class:`~repro.insitu.router.HybridRouter` state machine, the labeled
+route counters, and the serve-plane codec accounting.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.adios.marshal import (
+    StepPayload,
+    marshal_step,
+    marshal_step_reference,
+    unmarshal_step,
+)
+from repro.codec import (
+    CodecContext,
+    CodecError,
+    CodecSpec,
+    ErrorBudget,
+    FieldCodecConfig,
+    MissingReferenceError,
+    decode_field,
+    encode_field,
+)
+from repro.codec import stages
+from repro.codec.pipeline import BITPLANE_RLE, CONSTANT, DELTA_RLE, RAW
+from repro.faults.errors import CorruptPayloadError
+from repro.insitu.router import HybridRouter, RouteDecision, RouterPolicy
+from repro.perf import naive_mode
+
+
+def _smooth(shape=(6, 5, 5), seed=0, scale=1.0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*(np.linspace(0, 1, n) for n in shape), indexing="ij")
+    f = sum(np.sin(3.1 * g + i) for i, g in enumerate(grids))
+    return scale * (f + 1e-3 * rng.normal(size=shape)) + offset
+
+
+EDGE_ARRAYS = {
+    "nan": np.array([[1.0, np.nan], [3.0, 4.0]]),
+    "inf": np.array([0.0, np.inf, -np.inf, 2.0]),
+    "constant": np.full((4, 3), 2.5),
+    "one": np.array([42.0]),
+    "empty": np.zeros((0,)),
+    "odd_shape": _smooth((7, 3, 5), seed=3),
+    "f4": _smooth((5, 5), seed=4).astype(np.float32),
+    "tiny_range": 1.0 + 1e-14 * np.arange(8.0),
+}
+
+
+class TestStages:
+    def test_varint_zigzag_roundtrip_and_reference(self, rng):
+        vals = np.concatenate([
+            rng.integers(-(2**40), 2**40, size=200),
+            np.array([0, -1, 1, 2**62, -(2**62)]),
+        ]).astype(np.int64)
+        data = stages.varint_encode(stages.zigzag_encode(vals))
+        out = stages.zigzag_decode(stages.varint_decode(data, vals.size))
+        ref = stages.zigzag_decode(
+            stages.varint_decode_reference(data, vals.size)
+        )
+        np.testing.assert_array_equal(out, vals)
+        np.testing.assert_array_equal(ref, vals)
+
+    def test_rle_roundtrip_and_reference(self, rng):
+        vals = np.repeat(
+            rng.integers(-50, 50, size=40), rng.integers(1, 9, size=40)
+        ).astype(np.int64)
+        data = stages.rle_encode(vals)
+        np.testing.assert_array_equal(stages.rle_decode(data), vals)
+        np.testing.assert_array_equal(stages.rle_decode_reference(data), vals)
+        with naive_mode():
+            np.testing.assert_array_equal(stages.rle_decode(data), vals)
+
+    def test_delta_roundtrip_and_reference(self, rng):
+        q = rng.integers(-1000, 1000, size=(4, 5, 5)).astype(np.int64)
+        deltas = stages.delta_encode(q)
+        np.testing.assert_array_equal(
+            stages.delta_decode(deltas).reshape(q.shape), q
+        )
+        np.testing.assert_array_equal(
+            stages.delta_decode_reference(deltas).reshape(q.shape), q
+        )
+
+    def test_quantize_bound(self, rng):
+        arr = rng.normal(size=500)
+        step = 1e-3
+        out = stages.dequantize(stages.quantize(arr, step), step)
+        assert np.abs(out - arr).max() <= step / 2 + 1e-12
+        ref = stages.dequantize_reference(stages.quantize(arr, step), step)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_truncate_mantissa_relative_bound(self, rng):
+        arr = rng.normal(size=300) * 10.0 ** rng.integers(-3, 4, size=300)
+        for keep in (4, 10, 20):
+            out = stages.truncate_mantissa(arr, keep)
+            rel = np.abs(out - arr) / np.abs(arr)
+            assert rel.max() <= 2.0 ** -keep
+
+    def test_byte_shuffle_roundtrip_and_reference(self, rng):
+        arr = rng.normal(size=64)
+        data = stages.byte_shuffle(arr)
+        out = stages.byte_unshuffle(data, arr.dtype, arr.size)
+        ref = stages.byte_unshuffle_reference(data, arr.dtype, arr.size)
+        np.testing.assert_array_equal(out, arr)
+        np.testing.assert_array_equal(ref, arr)
+
+
+class TestFieldPipelines:
+    @pytest.mark.parametrize("codec", ["delta-rle", "bitplane-rle"])
+    @pytest.mark.parametrize("case", sorted(EDGE_ARRAYS))
+    def test_roundtrip_within_budget(self, codec, case):
+        arr = EDGE_ARRAYS[case]
+        cfg = FieldCodecConfig(codec=codec, budget=ErrorBudget(relative=1e-3))
+        codec_id, params, data = encode_field(case, arr, cfg, step=0)
+        out = decode_field(case, codec_id, params, data, arr.dtype,
+                           arr.shape, step=0)
+        assert out.shape == arr.shape and out.dtype == arr.dtype
+        bound = cfg.budget.bound_for(arr) if arr.size else None
+        if codec_id == RAW or not np.isfinite(arr).all():
+            np.testing.assert_array_equal(out, arr)
+        else:
+            assert np.abs(out - arr).max() <= (bound or 0) + 1e-12
+
+    @pytest.mark.parametrize("codec", ["delta-rle", "bitplane-rle"])
+    def test_smooth_field_compresses(self, codec):
+        arr = _smooth((8, 8, 8), seed=1)
+        cfg = FieldCodecConfig(codec=codec, budget=ErrorBudget(relative=1e-3))
+        codec_id, params, data = encode_field("f", arr, cfg, step=0)
+        assert codec_id != RAW
+        assert len(data) * 2 < arr.nbytes
+
+    def test_nan_inf_fall_back_to_raw(self):
+        cfg = FieldCodecConfig(codec="delta-rle",
+                               budget=ErrorBudget(relative=1e-3))
+        for case in ("nan", "inf"):
+            codec_id, _, data = encode_field(case, EDGE_ARRAYS[case], cfg, 0)
+            assert codec_id == RAW
+            assert data == EDGE_ARRAYS[case].tobytes()
+
+    def test_constant_field_is_one_value(self):
+        cfg = FieldCodecConfig(codec="delta-rle",
+                               budget=ErrorBudget(relative=1e-3))
+        codec_id, params, data = encode_field(
+            "c", EDGE_ARRAYS["constant"], cfg, 0
+        )
+        assert codec_id == CONSTANT and data == b""
+        out = decode_field("c", codec_id, params, data, np.float64, (4, 3), 0)
+        np.testing.assert_array_equal(out, EDGE_ARRAYS["constant"])
+
+    def test_lossless_config_is_bit_exact(self, rng):
+        arr = rng.normal(size=(5, 5))
+        codec_id, _, data = encode_field("f", arr, None, 0)
+        assert codec_id == RAW
+        out = decode_field("f", codec_id, {}, data, arr.dtype, arr.shape, 0)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_absolute_budget(self, rng):
+        arr = rng.normal(size=200) * 100
+        cfg = FieldCodecConfig(codec="delta-rle",
+                               budget=ErrorBudget(absolute=0.05))
+        codec_id, params, data = encode_field("f", arr, cfg, 0)
+        out = decode_field("f", codec_id, params, data, arr.dtype,
+                           arr.shape, 0)
+        assert np.abs(out - arr).max() <= 0.05 + 1e-12
+
+    @pytest.mark.parametrize("codec", ["delta-rle", "bitplane-rle"])
+    def test_naive_mode_decode_parity(self, codec, rng):
+        arr = _smooth((6, 6, 6), seed=7)
+        cfg = FieldCodecConfig(codec=codec, budget=ErrorBudget(relative=1e-3))
+        codec_id, params, data = encode_field("f", arr, cfg, 0)
+        fast = decode_field("f", codec_id, params, data, arr.dtype,
+                            arr.shape, 0)
+        with naive_mode():
+            slow = decode_field("f", codec_id, params, data, arr.dtype,
+                                arr.shape, 0)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_corrupt_block_raises(self):
+        arr = _smooth((6, 6), seed=2)
+        cfg = FieldCodecConfig(codec="bitplane-rle",
+                               budget=ErrorBudget(relative=1e-3))
+        codec_id, params, data = encode_field("f", arr, cfg, 0)
+        with pytest.raises(CodecError):
+            decode_field("f", codec_id, params, data[:-3], arr.dtype,
+                         arr.shape, 0)
+
+
+class TestTemporal:
+    def _cfg(self):
+        return FieldCodecConfig(
+            codec="delta-rle", budget=ErrorBudget(relative=1e-3),
+            temporal=True,
+        )
+
+    def test_temporal_chain_roundtrip(self):
+        enc, dec = CodecContext(), CodecContext()
+        base = _smooth((6, 6, 6), seed=9)
+        for step in range(3):
+            arr = base + 1e-4 * step
+            codec_id, params, data = encode_field("T", arr, self._cfg(),
+                                                  step, enc)
+            if step > 0:
+                assert params.get("m") == "t"
+                assert params["ref"] == step - 1
+            out = decode_field("T", codec_id, params, data, arr.dtype,
+                               arr.shape, step, dec)
+            bound = self._cfg().budget.bound_for(arr)
+            assert np.abs(out - arr).max() <= bound + 1e-12
+
+    def test_temporal_decode_without_context_raises(self):
+        enc = CodecContext()
+        base = _smooth((5, 5), seed=10)
+        encode_field("T", base, self._cfg(), 0, enc)
+        codec_id, params, data = encode_field("T", base + 1e-4,
+                                              self._cfg(), 1, enc)
+        assert params.get("m") == "t"
+        with pytest.raises(MissingReferenceError):
+            decode_field("T", codec_id, params, data, base.dtype,
+                         base.shape, 1, context=None)
+        with pytest.raises(MissingReferenceError):
+            # a fresh context never decoded the reference step either
+            decode_field("T", codec_id, params, data, base.dtype,
+                         base.shape, 1, context=CodecContext())
+
+    def test_grown_range_reseeds_spatially(self):
+        """A spin-up field must not drag its early tiny qstep along."""
+        enc = CodecContext()
+        small = _smooth((6, 6, 6), seed=11, scale=1e-3)
+        encode_field("p", small, self._cfg(), 0, enc)
+        big = _smooth((6, 6, 6), seed=11, scale=1.0)
+        codec_id, params, data = encode_field("p", big, self._cfg(), 1, enc)
+        assert params.get("m") == "s"     # chain re-seeded, not reused
+        assert codec_id == DELTA_RLE
+        assert len(data) * 2 < big.nbytes  # and it still compresses
+
+    def test_shape_change_reseeds_spatially(self):
+        enc = CodecContext()
+        encode_field("p", _smooth((4, 4), seed=12), self._cfg(), 0, enc)
+        arr = _smooth((6, 6), seed=12)
+        _, params, _ = encode_field("p", arr, self._cfg(), 1, enc)
+        assert params.get("m") == "s"
+
+
+def _payload(seed=0, step=1):
+    rng = np.random.default_rng(seed)
+    return StepPayload(
+        step=step, time=0.25, rank=2,
+        variables={
+            "temperature": _smooth((4, 5, 5), seed=seed),
+            "velocity": _smooth((4, 5, 5), seed=seed + 1, scale=2.0),
+            "block0/geom": rng.normal(size=10),
+            "cells": np.arange(12, dtype=np.int64),
+        },
+        attributes={"mesh": "box"},
+    )
+
+
+class TestMarshalRBP3:
+    def test_roundtrip_within_budget(self):
+        spec = CodecSpec.from_cli("delta-rle", "1e-3")
+        payload = _payload()
+        enc, dec = CodecContext(), CodecContext()
+        data = marshal_step(payload, codec=spec, context=enc)
+        assert bytes(data[:4]) == b"RBP3"
+        out = unmarshal_step(data, context=dec)
+        assert out.step == payload.step and out.attributes == payload.attributes
+        for name, arr in payload.variables.items():
+            got = out.variables[name]
+            assert got.shape == arr.shape and got.dtype == arr.dtype
+            cfg = spec.config_for(name, arr.dtype)
+            if cfg is None or cfg.budget.lossless:
+                np.testing.assert_array_equal(got, arr)
+            else:
+                bound = cfg.budget.bound_for(arr)
+                assert np.abs(got - arr).max() <= bound + 1e-12
+        assert len(data) < len(marshal_step(payload))
+
+    def test_geometry_and_int_fields_are_bit_exact(self):
+        spec = CodecSpec.from_cli("delta-rle", "1e-2")
+        payload = _payload()
+        out = unmarshal_step(marshal_step(payload, codec=spec,
+                                          context=CodecContext()),
+                             context=CodecContext())
+        np.testing.assert_array_equal(
+            out.variables["block0/geom"], payload.variables["block0/geom"]
+        )
+        np.testing.assert_array_equal(
+            out.variables["cells"], payload.variables["cells"]
+        )
+
+    def test_crc_covers_compressed_bytes(self):
+        spec = CodecSpec.from_cli("delta-rle", "1e-3")
+        data = bytearray(marshal_step(_payload(), codec=spec,
+                                      context=CodecContext()))
+        data[len(data) // 2] ^= 0xFF
+        with pytest.raises(CorruptPayloadError):
+            unmarshal_step(bytes(data), context=CodecContext())
+
+    def test_lossless_spec_emits_byte_identical_rbp2(self):
+        payload = _payload()
+        plain = bytes(marshal_step(payload))
+        via_spec = bytes(marshal_step(payload, codec=CodecSpec.lossless()))
+        assert via_spec == plain
+        assert via_spec[:4] == b"RBP2"
+        assert bytes(marshal_step(payload, codec=None)) == plain
+
+    def test_rbp2_and_rbp1_still_decode(self):
+        payload = _payload()
+        rbp2 = marshal_step_reference(payload)
+        out2 = unmarshal_step(rbp2)
+        np.testing.assert_array_equal(
+            out2.variables["temperature"], payload.variables["temperature"]
+        )
+        rbp1 = b"RBP1" + rbp2[8:]       # v1 framing: magic, no CRC
+        out1 = unmarshal_step(rbp1)
+        np.testing.assert_array_equal(
+            out1.variables["temperature"], payload.variables["temperature"]
+        )
+
+    def test_decoded_fields_are_read_only_with_cow_escape(self):
+        spec = CodecSpec.from_cli("delta-rle", "1e-3")
+        wire = bytes(marshal_step(_payload(), codec=spec,
+                                  context=CodecContext()))
+        out = unmarshal_step(wire, context=CodecContext())
+        for arr in out.variables.values():
+            assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            out.variables["temperature"][0, 0, 0] = 9.0
+        writable = out.ensure_writable("temperature")
+        writable[0, 0, 0] = 9.0
+        assert out.variables["temperature"][0, 0, 0] == 9.0
+
+    def test_mutation_never_corrupts_staged_payload(self):
+        """The satellite regression: a consumer mutating a decoded
+        field must not reach back into the staged wire bytes or any
+        sibling decode of the same frame."""
+        for spec in (None, CodecSpec.from_cli("delta-rle", "1e-3")):
+            payload = _payload()
+            wire = bytes(marshal_step(payload, codec=spec,
+                                      context=CodecContext()))
+            staged = bytes(wire)        # what a broker/replay cache holds
+            first = unmarshal_step(wire, context=CodecContext())
+            arr = first.ensure_writable("temperature")
+            arr.fill(-123.0)
+            first.ensure_writable("block0/geom").fill(-7.0)
+            assert wire == staged       # wire bytes untouched
+            second = unmarshal_step(wire, context=CodecContext())
+            np.testing.assert_allclose(
+                second.variables["temperature"],
+                payload.variables["temperature"], atol=1e-2,
+            )
+            np.testing.assert_array_equal(
+                second.variables["block0/geom"],
+                payload.variables["block0/geom"],
+            )
+
+
+class TestCodecSpec:
+    def test_from_cli_variants(self):
+        assert CodecSpec.from_cli(None) is None
+        assert CodecSpec.from_cli("none") is None
+        assert not CodecSpec.from_cli("lossless").active
+        spec = CodecSpec.from_cli("bitplane-rle", "abs:0.5")
+        assert spec.active
+        cfg = spec.config_for("temperature", np.float64)
+        assert cfg.codec == "bitplane-rle" and cfg.budget.absolute == 0.5
+        with pytest.raises(ValueError):
+            CodecSpec.from_cli("gzip")
+
+    def test_geometry_globs_pin_raw(self):
+        spec = CodecSpec.from_cli("delta-rle", "1e-3")
+        for name in ("block0/geom", "mesh/points", "cells"):
+            assert spec.config_for(name, np.float64).codec == "raw"
+        assert spec.config_for("temperature", np.float64).codec == "delta-rle"
+
+    def test_int_fields_pass_through(self):
+        spec = CodecSpec.from_cli("delta-rle", "1e-3")
+        assert spec.config_for("ids", np.int64) is None
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorBudget(relative=-1.0)
+        with pytest.raises(ValueError):
+            ErrorBudget(absolute=0.0)
+
+
+class TestHybridRouter:
+    def test_forced_modes(self):
+        for mode in ("insitu", "intransit"):
+            router = HybridRouter(mode=mode)
+            d = router.decide(0, raw_bytes=10**9)
+            assert isinstance(d, RouteDecision) and d.route == mode
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RouterPolicy(wire_budget_bytes=0)
+        with pytest.raises(ValueError):
+            HybridRouter(mode="teleport")
+
+    def test_streams_within_budget(self):
+        router = HybridRouter(RouterPolicy(wire_budget_bytes=1 << 20))
+        for step in range(5):
+            assert router.decide(step, raw_bytes=1000).route == "intransit"
+        assert router.route_counts["intransit"] == 5
+
+    def test_hysteresis_then_insitu_then_reentry(self):
+        policy = RouterPolicy(wire_budget_bytes=1000, hysteresis=2,
+                              probe_interval=100)
+        router = HybridRouter(policy)
+        # first ratio observation: 4x compression
+        router.observe(raw_bytes=4000, wire_bytes=1000)
+        # over budget: est 8000/4 = 2000 > 1000; decision entering the
+        # step still streams for `hysteresis` steps, then parks
+        assert router.decide(0, 8000).route == "intransit"
+        assert router.decide(1, 8000).route == "intransit"
+        assert router.decide(2, 8000).route == "insitu"
+        # back under the re-entry margin just as long, then streams
+        assert router.decide(3, 2000).route == "insitu"
+        assert router.decide(4, 2000).route == "insitu"
+        assert router.decide(5, 2000).route == "intransit"
+
+    def test_parked_router_probes(self):
+        policy = RouterPolicy(wire_budget_bytes=1000, hysteresis=1,
+                              probe_interval=3)
+        router = HybridRouter(policy)
+        # 5x over budget: too much to stream, not enough to drop
+        routes = [router.decide(s, 5000).route for s in range(8)]
+        assert "intransit" in routes[2:]      # periodic probe while parked
+        assert routes.count("insitu") > routes.count("intransit")
+
+    def test_drop_when_no_insitu_and_far_over(self):
+        policy = RouterPolicy(wire_budget_bytes=1000, hysteresis=1,
+                              drop_factor=2.0, probe_interval=100)
+        router = HybridRouter(policy, insitu_available=False)
+        router.decide(0, 10**9)
+        d = router.decide(1, 10**9)
+        assert d.route == "drop"
+        assert router.route_counts["drop"] >= 1
+
+    def test_first_observation_replaces_prior(self):
+        router = HybridRouter()
+        assert router.ratio_ewma == 1.0
+        router.observe(raw_bytes=8000, wire_bytes=1000)
+        assert router.ratio_ewma == pytest.approx(8.0)
+        router.observe(raw_bytes=4000, wire_bytes=1000)   # then EWMA-smoothed
+        assert 4.0 < router.ratio_ewma < 8.0
+
+    def test_stats_and_decisions(self):
+        router = HybridRouter(RouterPolicy(wire_budget_bytes=1 << 20))
+        router.decide(0, 100)
+        s = router.stats()
+        assert s["mode"] == "hybrid" and s["routes"]["intransit"] == 1
+        assert s["decisions"][-1]["step"] == 0
+
+    def test_for_cluster_budget_scales_with_ranks(self):
+        from repro.machine import JUWELS_BOOSTER
+
+        small = RouterPolicy.for_cluster(JUWELS_BOOSTER, 4, 0.5)
+        big = RouterPolicy.for_cluster(JUWELS_BOOSTER, 8, 0.5)
+        assert big.wire_budget_bytes == pytest.approx(
+            2 * small.wire_budget_bytes
+        )
+
+
+class TestRouteCounters:
+    def test_labeled_route_counter_exports(self):
+        from repro.observe import Telemetry, active
+
+        tel = Telemetry.create(rank=0)
+        with active(tel):
+            router = HybridRouter(RouterPolicy(wire_budget_bytes=1 << 20))
+            router.decide(0, 100)
+            router.decide(1, 100)
+            forced = HybridRouter(mode="insitu")
+            forced.decide(0, 100)
+        text = tel.metrics.to_prometheus()
+        assert 'repro_router_route_total{rank="0",route="intransit"} 2' in text
+        assert 'repro_router_route_total{rank="0",route="insitu"} 1' in text
+        # one HELP/TYPE pair per metric name, not per label set
+        assert text.count("# HELP repro_router_route_total") == 1
+
+    def test_labeled_counters_merge_by_label_set(self):
+        from repro.observe.metrics import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_router_route_total", "", {"route": "drop"}).inc(2)
+        b.counter("repro_router_route_total", "", {"route": "drop"}).inc(3)
+        b.counter("repro_router_route_total", "", {"route": "insitu"}).inc(1)
+        out = a.merge(b).to_json()["metrics"]
+        assert out['repro_router_route_total{route="drop"}']["value"] == 5
+        assert out['repro_router_route_total{route="insitu"}']["value"] == 1
+
+
+class TestServePlane:
+    def test_framestore_accounts_codec_frames(self):
+        from repro.serve.framestore import FrameStore
+
+        store = FrameStore(history=4)
+        f = store.put("fields", 0, 0.0, b"x" * 100, seq=0,
+                      encoding="rbp3", raw_nbytes=400)
+        assert f.encoding == "rbp3" and f.bytes_saved == 300
+        store.put("catalyst", 0, 0.0, b"y" * 50, seq=1)
+        s = store.stats()
+        assert s["codec_raw_bytes"] == 400
+        assert s["codec_wire_bytes"] == 100
+        assert s["codec_bytes_saved"] == 300
+
+    def test_routes_endpoint(self):
+        import http.client
+        import json
+
+        from repro.serve import FrameHub
+        from repro.serve.transport import HttpFrameServer
+
+        hub = FrameHub(history=4)
+        router = HybridRouter(RouterPolicy(wire_budget_bytes=1 << 20))
+        router.decide(0, 100)
+        server = HttpFrameServer(hub, None, router=router)
+        server.start()
+        try:
+            conn = http.client.HTTPConnection(server.host, server.port,
+                                              timeout=10)
+            conn.request("GET", "/routes")
+            resp = conn.getresponse()
+            body = json.loads(resp.read())
+            conn.close()
+            assert resp.status == 200
+            assert body["routes"]["intransit"] == 1
+            assert body["decisions"][0]["route"] == "intransit"
+        finally:
+            server.stop()
+
+    def test_routes_endpoint_without_router_is_404(self):
+        import http.client
+
+        from repro.serve import FrameHub
+        from repro.serve.transport import HttpFrameServer
+
+        server = HttpFrameServer(FrameHub(history=2), None)
+        server.start()
+        try:
+            conn = http.client.HTTPConnection(server.host, server.port,
+                                              timeout=10)
+            conn.request("GET", "/routes")
+            resp = conn.getresponse()
+            resp.read()
+            conn.close()
+            assert resp.status == 404
+        finally:
+            server.stop()

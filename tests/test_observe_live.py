@@ -530,7 +530,7 @@ class TestOverheadGovernor:
 
     @pytest.mark.perf
     def test_live_plane_overhead_under_5pct(self):
-        """Best-of-3 instrumented vs bare wall time (see BENCH_7.json)."""
+        """Best-of-3 instrumented vs bare wall time (see BENCH_8.json)."""
         from repro.bench.live_telemetry import measure_overhead
 
         out = measure_overhead(repeats=3)
