@@ -297,15 +297,21 @@ def _keep_bits_for(budget: ErrorBudget, arr: np.ndarray) -> int:
 
     Truncating to k bits bounds pointwise relative error by ``2**-k``.
     A relative budget maps directly; an absolute budget maps through
-    the field's max magnitude (|err| <= 2**-k * max|x|).
+    the field's max magnitude (|err| <= 2**-k * max|x|).  With both
+    set, the effective bound is the tighter of the two, mirroring
+    :meth:`ErrorBudget.bound_for`.
     """
-    rel = budget.relative
-    if rel is None:
+    rels = []
+    if budget.relative is not None:
+        rels.append(budget.relative)
+    if budget.absolute is not None:
         finite = np.abs(arr[np.isfinite(arr)]) if arr.size else arr
         vmax = float(finite.max()) if np.size(finite) else 0.0
-        if vmax == 0.0 or budget.absolute is None:
-            return mantissa_bits(arr.dtype)
-        rel = budget.absolute / vmax
+        if vmax > 0.0:
+            rels.append(budget.absolute / vmax)
+    if not rels:
+        return mantissa_bits(arr.dtype)
+    rel = min(rels)
     if rel >= 1.0:
         return 1
     return int(np.ceil(np.log2(1.0 / rel)))
@@ -464,11 +470,14 @@ def _encode_field(name, arr, cfg, step, context):
         deltas = (q - ref[2]).ravel()
     else:
         deltas = delta_encode(q)
-    if context is not None:
-        context.remember(name, step, qstep, q)
     data = rle_encode(deltas)
     if len(data) >= arr.nbytes:
+        # raw fallback: the decoder never sees this step's quanta, so
+        # the encoder must not reference them later either — keep the
+        # last *shipped* reference on both sides, in lockstep.
         return _encode_raw(arr)
+    if context is not None:
+        context.remember(name, step, qstep, q)
     params = {"q": qstep, "m": mode}
     if ref_step is not None:
         params["ref"] = ref_step

@@ -205,12 +205,18 @@ def rle_decode(data: bytes) -> np.ndarray:
     if terminators.size < 2 * k:
         raise CodecError("RLE stream truncated")
     split = int(terminators[k - 1]) + 1 if k else 0
-    gaps = varint_decode(rest[:split], k).astype(np.int64)
+    gaps = varint_decode(rest[:split], k)
     vals = zigzag_decode(varint_decode(rest[split:], k))
     out = np.zeros(n, dtype=np.int64)
     if k:
-        pos = np.cumsum(gaps + 1) - 1
-        if pos.size and int(pos[-1]) >= n:
+        # each (still-uint64) gap must fit inside the array; this also
+        # rejects values >= 2**63 that the int64 cast below would fold
+        # negative (and turn out[pos] into wrap-around writes) — same
+        # CodecError the reference decoder raises on such streams.
+        if int(gaps.max()) >= n:
+            raise CodecError("RLE gap runs past the array")
+        pos = np.cumsum(gaps.astype(np.int64) + 1) - 1
+        if int(pos[-1]) >= n:
             raise CodecError("RLE gap runs past the array")
         out[pos] = vals
     return out

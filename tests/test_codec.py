@@ -106,6 +106,25 @@ class TestStages:
             rel = np.abs(out - arr) / np.abs(arr)
             assert rel.max() <= 2.0 ** -keep
 
+    def test_rle_decode_rejects_adversarial_gap(self):
+        """A gap >= 2**63 must raise, not wrap into negative indexing.
+
+        The int64 cast inside the vectorized decoder would fold such a
+        gap negative and write via wrap-around indices; both decoders
+        must instead reject the stream identically.
+        """
+        payload = (
+            stages.varint_encode(np.array([10, 1], dtype=np.uint64))
+            + stages.varint_encode(np.array([2**63], dtype=np.uint64))
+            + stages.varint_encode(
+                stages.zigzag_encode(np.array([7], dtype=np.int64))
+            )
+        )
+        with pytest.raises(CodecError):
+            stages.rle_decode(payload)
+        with pytest.raises(CodecError):
+            stages.rle_decode_reference(payload)
+
     def test_byte_shuffle_roundtrip_and_reference(self, rng):
         arr = rng.normal(size=64)
         data = stages.byte_shuffle(arr)
@@ -174,6 +193,23 @@ class TestFieldPipelines:
         assert np.abs(out - arr).max() <= 0.05 + 1e-12
 
     @pytest.mark.parametrize("codec", ["delta-rle", "bitplane-rle"])
+    def test_combined_budget_honors_tighter_absolute_bound(self, codec, rng):
+        """With both bounds set, the tighter one wins (bound_for's rule).
+
+        A large-magnitude field makes the absolute bound far tighter
+        than the relative one; bitplane-rle used to key its mantissa
+        keep-bits off the relative bound alone and blow the absolute
+        budget by orders of magnitude.
+        """
+        arr = 2e6 + rng.normal(size=(8, 8, 8))
+        budget = ErrorBudget(absolute=1e-6, relative=1e-1)
+        cfg = FieldCodecConfig(codec=codec, budget=budget)
+        codec_id, params, data = encode_field("p", arr, cfg, 0)
+        out = decode_field("p", codec_id, params, data, arr.dtype,
+                           arr.shape, 0)
+        assert np.abs(out - arr).max() <= budget.bound_for(arr) + 1e-12
+
+    @pytest.mark.parametrize("codec", ["delta-rle", "bitplane-rle"])
     def test_naive_mode_decode_parity(self, codec, rng):
         arr = _smooth((6, 6, 6), seed=7)
         cfg = FieldCodecConfig(codec=codec, budget=ErrorBudget(relative=1e-3))
@@ -231,6 +267,65 @@ class TestTemporal:
             # a fresh context never decoded the reference step either
             decode_field("T", codec_id, params, data, base.dtype,
                          base.shape, 1, context=CodecContext())
+
+    def test_raw_fallback_keeps_temporal_chain_decodable(self):
+        """Encoder must not remember quanta the decoder never sees.
+
+        Incompressible noise under a tiny budget falls back to raw;
+        the encoder used to remember that step's quanta anyway, so the
+        next temporal block referenced a step the decoder had never
+        decoded and the stream became undecodable.
+        """
+        cfg = FieldCodecConfig(
+            codec="delta-rle", budget=ErrorBudget(relative=1e-9),
+            temporal=True,
+        )
+        rng = np.random.default_rng(20)
+        enc, dec = CodecContext(), CodecContext()
+        for step in range(1, 4):
+            arr = rng.standard_normal(512).astype(np.float32)
+            codec_id, params, data = encode_field("v", arr, cfg, step, enc)
+            assert codec_id == RAW     # noise at 1e-9 never shrinks
+            out = decode_field("v", codec_id, params, data, arr.dtype,
+                               arr.shape, step, dec)
+            np.testing.assert_array_equal(out, arr)
+
+    def test_raw_fallback_mid_chain_keeps_last_shipped_reference(self):
+        """An incompressible step must not break the chain around it.
+
+        Steps 0, 1 and 3 ship DELTA_RLE; step 2 is white noise
+        (normalized to the base's range so qsteps stay compatible)
+        whose deltas cost more than raw under the tight budget, so it
+        falls back.  Step 3's temporal reference must then point at
+        step 1 — the last quanta the decoder actually saw — and
+        decode cleanly.
+        """
+        cfg = FieldCodecConfig(
+            codec="delta-rle", budget=ErrorBudget(relative=1e-15),
+            temporal=True,
+        )
+        x = np.linspace(0, 1, 4096)
+        base = np.sin(3.1 * x) + 0.5 * np.cos(7.3 * x)
+        w = np.random.default_rng(22).standard_normal(base.shape)
+        noise = base.min() + (w - w.min()) / (w.max() - w.min()) \
+            * (base.max() - base.min())
+        arrs = [base, base + 1e-4, noise, base + 2e-4]
+        enc, dec = CodecContext(), CodecContext()
+        codecs, params_by_step = [], {}
+        for step, arr in enumerate(arrs):
+            codec_id, params, data = encode_field("T", arr, cfg, step, enc)
+            codecs.append(codec_id)
+            params_by_step[step] = params
+            out = decode_field("T", codec_id, params, data, arr.dtype,
+                               arr.shape, step, dec)
+            bound = cfg.budget.bound_for(arr)
+            if codec_id == RAW:
+                np.testing.assert_array_equal(out, arr)
+            else:
+                assert np.abs(out - arr).max() <= bound + 1e-15
+        assert codecs == [DELTA_RLE, DELTA_RLE, RAW, DELTA_RLE]
+        assert params_by_step[3].get("m") == "t"
+        assert params_by_step[3]["ref"] == 1   # not the unseen step 2
 
     def test_grown_range_reseeds_spatially(self):
         """A spin-up field must not drag its early tiny qstep along."""
