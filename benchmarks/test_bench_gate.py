@@ -1,7 +1,7 @@
 """Perf-gate benchmarks: the gated kernels through ``run_gate``.
 
 These are the same kernels ``python -m repro bench --gate`` times
-against ``BENCH_6.json``; running them under pytest (marked ``perf``)
+against ``BENCH_9.json``; running them under pytest (marked ``perf``)
 wires the gate into the benchmark suite so a CI lane can fail on
 regressions without shelling out to the CLI.
 """
@@ -34,7 +34,7 @@ def test_gate_records_speedups_on_hot_kernels(tmp_path):
     """The headline kernels must beat their reference paths.
 
     Generous floor (1.2x, not the 2x the PR demonstrates) so a loaded
-    CI box doesn't flake; BENCH_6.json records the real margins.
+    CI box doesn't flake; BENCH_9.json records the real margins.
     """
     subset = {
         name: KERNELS[name]
@@ -50,7 +50,7 @@ def test_compositing_beats_gather_rendering_2x(tmp_path):
 
     The kernel returns machine-modeled seconds (slowest rank's CPU plus
     wire time for its metered ingress), so the margin is stable even on
-    a one-core container; the real margin recorded in BENCH_6.json is
+    a one-core container; the real margin recorded in BENCH_9.json is
     an order of magnitude above this floor.
     """
     report = run_gate(
@@ -74,12 +74,24 @@ def test_recovery_beats_static_split(tmp_path):
     """Losing 1 of 2 endpoints: the elastic fleet's makespan (lease
     detection + reroute + replay) must finish well ahead of the static
     split, which burns the writers' full retry budgets before
-    degrading.  Floor of 2x; BENCH_6.json records ~9x."""
+    degrading.  Floor of 2x; BENCH_9.json records ~9x."""
     report = run_gate(
         path=tmp_path / "BENCH.json", repeats=1,
         kernels={"recovery": KERNELS["recovery"]},
     )
     assert report.kernels["recovery"]["speedup"] >= 2.0
+
+
+def test_device_render_beats_host_residency(tmp_path):
+    """The device-resident pipeline must cut the modeled 1120-rank
+    in situ overhead by >= 1.5x over the host-resident gather (the
+    row itself also enforces this floor internally); BENCH_9.json
+    records ~6x."""
+    report = run_gate(
+        path=tmp_path / "BENCH.json", repeats=1,
+        kernels={"device_render": KERNELS["device_render"]},
+    )
+    assert report.kernels["device_render"]["speedup"] >= 1.5
 
 
 def test_gate_fails_on_synthetic_regression(tmp_path):

@@ -22,7 +22,7 @@ Two halves, matching how the other figure drivers split work:
 
 ``python -m repro.bench.compression`` prints the table;
 ``python -m repro bench --gate`` pins the modeled compressed step and
-the measured >=4x ratio as the ``compression`` row in BENCH_8.json.
+the measured >=4x ratio as the ``compression`` row in BENCH_9.json.
 """
 
 from __future__ import annotations

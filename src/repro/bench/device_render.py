@@ -1,0 +1,118 @@
+"""Device-render bench: modeled 1120-rank in situ overhead, host vs device.
+
+The gate row for the device-resident visualization pipeline.  The
+measured pb146-analog profiles (shared with Figures 2/3 through
+:func:`repro.bench.workloads.pb146_profiles`) are replayed on the paper
+machine at the largest Section 4.1 shape — 1120 ranks — and the number
+pinned is the *in situ overhead*: predicted total seconds of the
+Catalyst configuration minus the original (no-I/O) run.  Optimized is
+``catalyst_device`` (tile-only PCIe traffic, no host staging, GPU
+render kernels); the reference is the host-resident ``catalyst`` mode.
+
+``python -m repro.bench.device_render`` prints the comparison;
+``python -m repro bench --gate`` pins the device overhead as the
+``device_render`` row in BENCH_9.json and enforces the ISSUE's floor —
+a modeled overhead reduction under 1.5x fails loudly rather than
+quietly shipping a regressed render path.
+"""
+
+from __future__ import annotations
+
+from repro.bench.replay import predict_insitu_run
+from repro.bench.workloads import (
+    PB146_GRIDPOINTS,
+    PB146_INTERVAL,
+    PB146_STEPS,
+    pb146_profiles,
+)
+from repro.machine import POLARIS
+from repro.util.tables import Table
+
+#: largest Fig. 2 configuration — where the D->H gather hurts most.
+GATE_RANKS = 1120
+
+#: acceptance floor: device residency must cut the modeled in situ
+#: overhead by at least this factor at GATE_RANKS.
+MIN_OVERHEAD_REDUCTION = 1.5
+
+#: laptop-scale measurement shape (matches the quick-report pb146
+#: kwargs so a report run in the same process reuses the cached
+#: profiles).
+MEASURE_KWARGS = dict(ranks=2, steps=4, interval=2, num_pebbles=3,
+                      order=3, image_size=192)
+
+_MODES = ("original", "catalyst", "catalyst_device")
+
+
+def measure_device_render(measure_kwargs: dict | None = None) -> dict:
+    """Modeled GATE_RANKS overhead for both residencies.
+
+    Cheap after the first call — the underlying profile measurement is
+    module-cached in :mod:`repro.bench.workloads`.
+    """
+    profiles = pb146_profiles(**(MEASURE_KWARGS if measure_kwargs is None
+                                 else measure_kwargs))
+    preds = {
+        mode: predict_insitu_run(
+            profiles[mode], POLARIS, GATE_RANKS, PB146_GRIDPOINTS,
+            steps=PB146_STEPS, interval=PB146_INTERVAL,
+        )
+        for mode in _MODES
+    }
+    base = preds["original"].total_seconds
+    host = preds["catalyst"].total_seconds - base
+    device = preds["catalyst_device"].total_seconds - base
+    return {
+        "ranks": GATE_RANKS,
+        "host_overhead_s": host,
+        "device_overhead_s": device,
+        "reduction": host / device if device > 0 else float("inf"),
+        "host_seconds": preds["catalyst"].seconds,
+        "device_seconds": preds["catalyst_device"].seconds,
+    }
+
+
+def gate_step_seconds(device: bool, measure_kwargs: dict | None = None) -> float:
+    """The gate row's self-measured number: modeled overhead seconds.
+
+    Optimized path (`device`) is the device-resident pipeline and
+    enforces the >=1.5x floor; the reference is the same run with the
+    host-resident gather in the path.
+    """
+    measured = measure_device_render(measure_kwargs)
+    if not device:
+        return measured["host_overhead_s"]
+    if measured["reduction"] < MIN_OVERHEAD_REDUCTION:
+        raise RuntimeError(
+            f"device_render gate: modeled {GATE_RANKS}-rank overhead "
+            f"reduction {measured['reduction']:.2f}x is below the "
+            f"{MIN_OVERHEAD_REDUCTION}x floor "
+            f"(host {measured['host_overhead_s']:.3f}s vs device "
+            f"{measured['device_overhead_s']:.3f}s)"
+        )
+    return measured["device_overhead_s"]
+
+
+def run(measure_kwargs: dict | None = None) -> Table:
+    measured = measure_device_render(measure_kwargs)
+    table = Table(
+        ["residency", "overhead [s]", "terms"],
+        title=(
+            f"Device-resident Catalyst — modeled in situ overhead at "
+            f"{GATE_RANKS} ranks (floor {MIN_OVERHEAD_REDUCTION}x)"
+        ),
+        float_format="{:.3f}",
+    )
+    for label, key in (("host", "host"), ("device", "device")):
+        terms = ", ".join(
+            f"{k} {v * 1e3:.1f}ms"
+            for k, v in measured[f"{key}_seconds"].items()
+            if k not in ("solve", "collectives")
+        )
+        table.add_row([label, measured[f"{key}_overhead_s"], terms])
+    table.add_row(["reduction", measured["reduction"], "(host / device)"])
+    return table
+
+
+if __name__ == "__main__":
+    print(run().render())

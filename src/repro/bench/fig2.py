@@ -21,7 +21,7 @@ from repro.machine import POLARIS, ClusterSpec
 from repro.util.tables import Table
 
 RANK_COUNTS = (280, 560, 1120)
-MODES = ("original", "checkpoint", "catalyst")
+MODES = ("original", "checkpoint", "catalyst", "catalyst_device")
 
 
 def run(
@@ -37,7 +37,8 @@ def run(
     profiles = pb146_profiles(**(measure_kwargs or {}))
     table = Table(
         ["ranks", "original [s]", "checkpointing [s]", "catalyst [s]",
-         "ckpt overhead [%]", "catalyst overhead [%]"],
+         "device catalyst [s]", "ckpt overhead [%]", "catalyst overhead [%]",
+         "device overhead [%]"],
         title=f"Fig. 2 — pb146 time-to-solution on {cluster.name} "
         f"({steps} steps, action every {interval})",
     )
@@ -63,8 +64,10 @@ def run(
                 row["original"].total_seconds,
                 row["checkpoint"].total_seconds,
                 row["catalyst"].total_seconds,
+                row["catalyst_device"].total_seconds,
                 100.0 * (row["checkpoint"].total_seconds - base) / base,
                 100.0 * (row["catalyst"].total_seconds - base) / base,
+                100.0 * (row["catalyst_device"].total_seconds - base) / base,
             ]
         )
     table.predictions = predictions  # attached for downstream figures

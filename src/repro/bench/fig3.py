@@ -33,7 +33,9 @@ def run(
 ) -> Table:
     profiles = pb146_profiles(**(measure_kwargs or {}))
     table = Table(
-        ["ranks", "checkpointing [GiB]", "catalyst [GiB]", "catalyst/checkpointing"],
+        ["ranks", "checkpointing [GiB]", "catalyst [GiB]",
+         "device catalyst [GiB]", "catalyst/checkpointing",
+         "device/checkpointing"],
         title=f"Fig. 3 — pb146 aggregate memory high-water mark on {cluster.name}",
     )
     for ranks in rank_counts:
@@ -51,7 +53,10 @@ def run(
         }
         ckpt = preds["checkpoint"].memory_aggregate_bytes
         cat = preds["catalyst"].memory_aggregate_bytes
-        table.add_row([ranks, ckpt / GIB, cat / GIB, cat / ckpt])
+        dev = preds["catalyst_device"].memory_aggregate_bytes
+        table.add_row(
+            [ranks, ckpt / GIB, cat / GIB, dev / GIB, cat / ckpt, dev / ckpt]
+        )
     return table
 
 

@@ -11,7 +11,7 @@ the surviving endpoint cannot take over the orphaned streams, so the
 affected writers burn their retry budgets, mark the transport down,
 and drop the remaining steps.  :func:`measure_recovery` returns the
 scenario's makespan in seconds and is gated as the ``recovery`` row
-of ``python -m repro bench --gate`` (baseline ``BENCH_8.json``).
+of ``python -m repro bench --gate`` (baseline ``BENCH_9.json``).
 
 **Weak scaling** — Fig 5/6 analogs with the fleet enabled: the
 simulation side doubles while the autoscaler picks the endpoint count

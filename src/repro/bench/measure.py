@@ -7,6 +7,9 @@ Three in situ configurations mirror Section 4.1's measurement points:
 - ``catalyst``   — solver + SENSEI bridge + Catalyst rendering every
   `interval` steps (device->host copy + resample + gather + render +
   PNG write, all real).
+- ``catalyst_device`` — the same bridge with ``residency="device"``:
+  resample/render/composite run as registered device kernels and only
+  the composited tile crosses the modeled PCIe link.
 
 The in transit measurement reuses :class:`repro.insitu.InTransitRunner`
 for the three Section 4.2 measurement points (none / checkpoint /
@@ -32,16 +35,17 @@ from repro.observe.session import TelemetrySession
 from repro.occa import Device
 from repro.parallel import run_spmd
 
-_MODES = ("original", "checkpoint", "catalyst")
+_MODES = ("original", "checkpoint", "catalyst", "catalyst_device")
 
 
-def _catalyst_xml(interval: int, isovalue: float, array: str, color: str, size: int) -> str:
+def _catalyst_xml(interval: int, isovalue: float, array: str, color: str,
+                  size: int, residency: str = "host") -> str:
     return f"""
     <sensei>
       <analysis type="catalyst" mesh="uniform" array="{array}"
                 color_array="{color}" isovalue="{isovalue}"
                 slice_axis="y" width="{size}" height="{size}"
-                frequency="{interval}" />
+                frequency="{interval}" residency="{residency}" />
     </sensei>
     """
 
@@ -87,10 +91,14 @@ def _instrumented_rank_body(
         fields["temperature"] = solver.T
 
     bridge = None
-    if mode == "catalyst":
+    if mode in ("catalyst", "catalyst_device"):
+        residency = "device" if mode == "catalyst_device" else "host"
         bridge = Bridge(
             solver,
-            config_xml=_catalyst_xml(interval, isovalue, array, color_array, image_size),
+            config_xml=_catalyst_xml(
+                interval, isovalue, array, color_array, image_size,
+                residency=residency,
+            ),
             output_dir=outdir,
         )
 
@@ -117,7 +125,7 @@ def _instrumented_rank_body(
                 checkpoint_seconds += _time.perf_counter() - tc
                 checkpoint_bytes += nbytes
                 dumps += 1
-            elif mode == "catalyst":
+            elif mode in ("catalyst", "catalyst_device"):
                 bridge.update(report.step, report.time)
                 dumps += 1
         step_seconds.append(_time.perf_counter() - ts)

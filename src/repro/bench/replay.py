@@ -48,6 +48,12 @@ class ReplayConfig:
     #: ParaView/OSPRay's compiled renderer vs our NumPy renderer,
     #: per extracted cell (applies to the replayed render term only)
     render_speed_ratio: float = 20.0
+    #: same substrate bridge for the device-resident pipeline: CUDA
+    #: contour/raster kernels vs our NumPy twins.  GPU extraction and
+    #: rasterization outruns the CPU renderer by roughly the ~6x a
+    #: production A100 render kernel has over a compiled CPU renderer
+    #: (OSPRay vs OptiX-class throughput), hence 6 x 20.
+    device_render_speed_ratio: float = 120.0
     #: host-resident footprint of the solver runtime per rank (NekRS
     #: host allocations, MPI, CUDA context, OS share) -- dominates the
     #: host memory of a GPU-resident solve
@@ -177,6 +183,29 @@ def predict_insitu_run(
         memory += config.catalyst_runtime_bytes
         out.storage_bytes = int(dumps * profile.image_bytes_per_invocation)
         memory += staging_rank
+    elif profile.mode == "catalyst_device":
+        # Device-resident Catalyst: the render path consumes device
+        # memory directly, so the per-step D2H is the *composited tile*
+        # -- a constant, not a function of gridpoints -- and there is
+        # no host staging/marshal term at all.
+        out.seconds["d2h"] = dumps * pcie.transfer_time(
+            int(profile.d2h_bytes_per_invocation_per_rank)
+        )
+        volume_ratio = gp_rank / (profile.gridpoints_per_rank * profile.ranks)
+        out.seconds["render"] = (
+            dumps
+            * profile.render_seconds_per_invocation
+            * max(volume_ratio, 1e-12) ** (2.0 / 3.0)
+            / config.device_render_speed_ratio
+        )
+        image_bytes = max(profile.image_bytes_per_invocation, 1)
+        out.seconds["compositing"] = dumps * math.ceil(
+            math.log2(max(target_ranks, 2))
+        ) * coll.net.p2p_time(image_bytes, math.ceil(hops))
+        # the Catalyst runtime still loads; the resampled working set
+        # stays in GPU memory, so no host staging is added
+        memory += config.catalyst_runtime_bytes
+        out.storage_bytes = int(dumps * profile.image_bytes_per_invocation)
     elif profile.mode != "original":
         raise ValueError(f"unknown profile mode {profile.mode!r}")
 

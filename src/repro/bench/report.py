@@ -72,6 +72,15 @@ def build_report(quick: bool = True) -> str:
     parts.append("## Where Catalyst-at-280-ranks spends its time\n")
     parts.append("```\n" + timeline.render() + "\n```\n")
 
+    # the same breakdown device-resident: the d2h/staging terms collapse
+    dev_pred = predict_insitu_run(
+        profiles["catalyst_device"], POLARIS, 280, PB146_GRIDPOINTS
+    )
+    dev_timeline = Timeline.from_breakdown(dev_pred.seconds)
+    parts.append("## Device-resident Catalyst at 280 ranks "
+                 "(tile-only PCIe traffic)\n")
+    parts.append("```\n" + dev_timeline.render() + "\n```\n")
+
     parts.append(_section("Ablation — in situ frequency",
                           ablations.insitu_frequency(measure_kwargs=pb_kwargs)))
     parts.append(_section("Ablation — SST queue policy", ablations.sst_queue()))

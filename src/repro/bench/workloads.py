@@ -48,7 +48,8 @@ def pb146_profiles(
     order: int = 3,
     image_size: int = 256,
 ) -> dict:
-    """Measured profiles for all three Section 4.1 modes (cached)."""
+    """Measured profiles for the Section 4.1 modes plus the
+    device-resident Catalyst variant (cached)."""
     key = ("pb146", ranks, steps, interval, num_pebbles, order, image_size)
     if key not in _profile_cache:
         case = measurement_pebble_case(num_pebbles, order=order, num_steps=steps)
@@ -64,7 +65,9 @@ def pb146_profiles(
                 color_array="temperature",
                 image_size=image_size,
             )
-            for mode in ("original", "checkpoint", "catalyst")
+            for mode in (
+                "original", "checkpoint", "catalyst", "catalyst_device"
+            )
         }
     return _profile_cache[key]
 

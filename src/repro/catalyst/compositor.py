@@ -183,7 +183,8 @@ def _collect_regions(
 
 
 def composite_binary_swap(
-    comm: Communicator, color: np.ndarray, depth: np.ndarray, root: int = 0
+    comm: Communicator, color: np.ndarray, depth: np.ndarray, root: int = 0,
+    arena=None,
 ):
     """Binary-swap depth compositing (communicator size must be 2^k).
 
@@ -191,12 +192,17 @@ def composite_binary_swap(
     remaining image rows and merges the partner's half into the half it
     keeps, so after log2(N) rounds every rank owns a disjoint, fully
     composited 1/N of the image; the root then collects the regions.
+
+    `arena` supplies the owner-buffer scratch; the device-resident path
+    passes a ``DeviceArena.raw_view()`` so the merge rounds recycle
+    device memory (defaults to the host :func:`get_arena`).
     """
     size, rank = comm.size, comm.rank
     if size & (size - 1):
         raise ValueError(f"binary swap needs a power-of-two group, got {size}")
     height = depth.shape[0]
-    arena = get_arena()
+    if arena is None:
+        arena = get_arena()
     owner = arena.borrow(depth.shape, np.int32)
     owner.fill(rank)
     try:
@@ -223,7 +229,8 @@ def composite_binary_swap(
 
 
 def composite_direct_send(
-    comm: Communicator, color: np.ndarray, depth: np.ndarray, root: int = 0
+    comm: Communicator, color: np.ndarray, depth: np.ndarray, root: int = 0,
+    arena=None,
 ):
     """Direct-send depth compositing for arbitrary group sizes.
 
@@ -234,7 +241,8 @@ def composite_direct_send(
     size, rank = comm.size, comm.rank
     height = depth.shape[0]
     bounds = [(r * height // size, (r + 1) * height // size) for r in range(size)]
-    arena = get_arena()
+    if arena is None:
+        arena = get_arena()
     owner = arena.borrow(depth.shape, np.int32)
     owner.fill(rank)
     try:
@@ -260,6 +268,7 @@ def composite(
     depth: np.ndarray,
     method: str = "auto",
     root: int = 0,
+    arena=None,
 ):
     """Composite per-rank framebuffers; ``(color, depth)`` on root.
 
@@ -281,8 +290,8 @@ def composite(
         "catalyst.composite", method=method, size=size
     ):
         if method in ("auto", "binary_swap") and pow2:
-            return composite_binary_swap(comm, color, depth, root)
-        return composite_direct_send(comm, color, depth, root)
+            return composite_binary_swap(comm, color, depth, root, arena=arena)
+        return composite_direct_send(comm, color, depth, root, arena=arena)
 
 
 # -- ghost-layer exchange ----------------------------------------------
@@ -326,6 +335,7 @@ def exchange_ghost_layers(
     fragments,
     offsets,
     arrays,
+    arena=None,
 ):
     """Extend each fragment with its +x/+y/+z neighbor ghost layers.
 
@@ -369,7 +379,8 @@ def exchange_ghost_layers(
     incoming = comm.alltoall(outgoing) if comm.size > 1 else outgoing
 
     # receiver side: build extended volumes
-    arena = get_arena()
+    if arena is None:
+        arena = get_arena()
     scratch: list[np.ndarray] = []
     by_offset: dict[tuple, int] = {off: i for i, off in enumerate(offsets)}
     ext_frags = []
@@ -443,6 +454,7 @@ def render_composited(
     time: float,
     method: str = "binary_swap",
     depth_dtype=np.float32,
+    device=None,
 ):
     """Distributed :meth:`RenderPipeline.render`: composited at root.
 
@@ -452,16 +464,48 @@ def render_composited(
     produces from the assembled volume — pixel-identical for opaque
     surfaces — and every other rank returns ``None``.  Collective: all
     ranks must call with identical pipeline/spec state.
+
+    With `device` set, the pipeline runs device-resident: fragment
+    payloads may be :class:`~repro.occa.device.DeviceMemory`, every
+    stage routes through the registered ``catalyst.*`` kernels
+    (``repro.occa.kernels``), scratch comes from the device arena, and
+    the root's frames come back as ``DeviceMemory`` tiles — the caller
+    performs the single metered D2H.  Inter-rank ghost/composite
+    traffic moves device buffers rank-to-rank directly (modeled
+    GPUDirect: metered on the network channel, never on PCIe).  The
+    kernel bodies are the host implementations, so the device path is
+    byte-identical to the host path.
     """
     tel = get_telemetry()
     gorigin = tuple(float(x) for x in np.asarray(global_origin, dtype=float))
     gspacing = tuple(float(x) for x in np.asarray(global_spacing, dtype=float))
     gdims = tuple(int(x) for x in global_dims)
     bounds = _global_bounds(gdims, gorigin, gspacing)
+    if device is not None:
+        from repro.occa.device import DeviceMemory
+        from repro.occa.kernels import install_render_kernels
+
+        kern = install_render_kernels(device)
+        # device-side views of the fragment payloads: stage kernels and
+        # rank-to-rank exchanges work on raw device arrays throughout
+        fragments = [
+            (
+                origin,
+                dims,
+                {
+                    name: vol._raw() if isinstance(vol, DeviceMemory) else vol
+                    for name, vol in payload.items()
+                },
+            )
+            for origin, dims, payload in fragments
+        ]
+        arena = device.arena.raw_view()
+    else:
+        kern = None
+        arena = get_arena()
     offsets = _fragment_offsets(fragments, gorigin, gspacing)
     contours = [s for s in pipeline.specs if s.kind == "contour"]
     slices = [s for s in pipeline.specs if s.kind == "slice"]
-    arena = get_arena()
 
     composited = None
     if contours:
@@ -483,9 +527,14 @@ def render_composited(
         })
         with tel.tracer.span("catalyst.ghost_exchange", step=step):
             ext_frags, scratch = exchange_ghost_layers(
-                comm, fragments, offsets, ghost_arrays
+                comm, fragments, offsets, ghost_arrays, arena=arena
             )
-        raster = Rasterizer(pipeline.width, pipeline.height, from_arena=True)
+        if device is not None:
+            from repro.catalyst.rasterizer import DeviceRasterizer
+
+            raster = DeviceRasterizer(device, pipeline.width, pipeline.height)
+        else:
+            raster = Rasterizer(pipeline.width, pipeline.height, from_arena=True)
         try:
             with tel.tracer.span("catalyst.render_local", step=step):
                 for spec in contours:
@@ -495,20 +544,33 @@ def render_composited(
                         if spec.has_threshold:
                             selector = vols[spec.threshold_array or spec.array]
                             tlo, thi = _threshold_band(spec)
-                            vol = threshold_by(vol, selector, vmin=tlo, vmax=thi)
+                            if kern is not None:
+                                vol = kern.threshold(
+                                    vol, selector, vmin=tlo, vmax=thi
+                                )
+                            else:
+                                vol = threshold_by(
+                                    vol, selector, vmin=tlo, vmax=thi
+                                )
                         aux = (
                             vols[spec.color_array]
                             if spec.color_array and spec.color_array != spec.array
                             else None
                         )
-                        verts, faces, vals = marching_tetrahedra(
-                            vol,
-                            spec.isovalue,
-                            origin=gorigin,
-                            spacing=gspacing,
-                            aux=aux,
-                            index_offset=off,
-                        )
+                        if kern is not None:
+                            verts, faces, vals = kern.contour(
+                                vol, spec.isovalue, gorigin, gspacing,
+                                aux, off,
+                            )
+                        else:
+                            verts, faces, vals = marching_tetrahedra(
+                                vol,
+                                spec.isovalue,
+                                origin=gorigin,
+                                spacing=gspacing,
+                                aux=aux,
+                                index_offset=off,
+                            )
                         if len(faces):
                             pieces.append((verts, faces, vals))
                     # global colormap range: min of mins is bitwise the
@@ -523,13 +585,23 @@ def render_composited(
                         if vmax is None:
                             vmax = ghi if np.isfinite(ghi) else None
                     for verts, faces, vals in pieces:
-                        colors = apply_colormap(vals, vmin, vmax, spec.colormap)
-                        raster.draw_mesh(camera, verts, faces, colors)
+                        if device is not None:
+                            # fused colormap + rasterize launch
+                            raster.shade_draw(
+                                camera, verts, faces, vals,
+                                vmin, vmax, spec.colormap,
+                            )
+                        else:
+                            colors = apply_colormap(
+                                vals, vmin, vmax, spec.colormap
+                            )
+                            raster.draw_mesh(camera, verts, faces, colors)
             composited = composite(
                 comm,
                 raster.image(),
                 raster.depth_image(depth_dtype),
                 method=method,
+                arena=arena,
             )
             if composited is not None and composited[0] is raster.image():
                 # single-rank identity: detach from the (recyclable)
@@ -604,7 +676,10 @@ def render_composited(
                         row_off : row_off + patch.shape[0],
                         col_off : col_off + patch.shape[1],
                     ] = patch
-        slice_planes.append((1.0 - t) * lo_plane + t * hi_plane)
+        if kern is not None:
+            slice_planes.append(kern.plane_blend(lo_plane, hi_plane, t))
+        else:
+            slice_planes.append((1.0 - t) * lo_plane + t * hi_plane)
 
     if not comm.is_root:
         return None
@@ -612,22 +687,44 @@ def render_composited(
     outputs: list[tuple[str, np.ndarray]] = []
     if contours:
         frame, depth = composited
-        apply_background_gradient(frame, depth)
+        if kern is not None:
+            kern.background(frame, depth)
+        else:
+            apply_background_gradient(frame, depth)
         if pipeline.annotate:
             spec = contours[0]
             vmin, vmax = ann_range[spec.color_array or spec.array]
             vmin = spec.vmin if spec.vmin is not None else vmin
             vmax = spec.vmax if spec.vmax is not None else vmax
-            draw_annotations(frame, spec, vmin, vmax, step, time)
+            if kern is not None:
+                kern.annotate(frame, spec, vmin, vmax, step, time)
+            else:
+                draw_annotations(frame, spec, vmin, vmax, step, time)
+        if device is not None:
+            # composited tile stays device-resident; the adaptor does
+            # the one metered D2H when it encodes the frame
+            frame = DeviceMemory(device, frame)
         outputs.append((f"{pipeline.name}_surface", frame))
     for i, (spec, plane) in enumerate(zip(slices, slice_planes)):
-        rgb = apply_colormap(plane, spec.vmin, spec.vmax, spec.colormap)
-        rgb = rgb[::-1]
-        frame = _resize_nearest(rgb, pipeline.height, pipeline.width)
+        if kern is not None:
+            # fused colormap + orient + resize launch
+            frame = kern.slice_frame(
+                plane, spec.vmin, spec.vmax, spec.colormap,
+                pipeline.height, pipeline.width,
+            )
+        else:
+            rgb = apply_colormap(plane, spec.vmin, spec.vmax, spec.colormap)
+            rgb = rgb[::-1]
+            frame = _resize_nearest(rgb, pipeline.height, pipeline.width)
         if pipeline.annotate:
             vmin, vmax = ann_range[spec.color_array or spec.array]
             vmin = spec.vmin if spec.vmin is not None else vmin
             vmax = spec.vmax if spec.vmax is not None else vmax
-            draw_annotations(frame, spec, vmin, vmax, step, time)
+            if kern is not None:
+                kern.annotate(frame, spec, vmin, vmax, step, time)
+            else:
+                draw_annotations(frame, spec, vmin, vmax, step, time)
+        if device is not None:
+            frame = DeviceMemory(device, frame)
         outputs.append((f"{pipeline.name}_slice{i}_{spec.array}", frame))
     return outputs

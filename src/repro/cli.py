@@ -34,7 +34,7 @@ from repro.util.sizes import format_bytes
 
 _CASES = ("cavity", "pebble", "rbc")
 _FIGURES = ("fig2", "fig3", "fig5", "fig6", "storage", "ablations", "telemetry",
-            "fleet", "compression", "report")
+            "fleet", "compression", "device_render", "report")
 
 
 def _build_case(name: str, steps: int | None, order: int | None, par: str | None):
@@ -96,6 +96,17 @@ def _inject_compositing(config_xml: str, compositing: str) -> str:
     return ET.tostring(root, encoding="unicode")
 
 
+def _inject_residency(config_xml: str, residency: str) -> str:
+    """Force ``residency=`` onto every catalyst analysis element."""
+    import xml.etree.ElementTree as ET
+
+    root = ET.fromstring(config_xml)
+    for el in root.iter("analysis"):
+        if el.get("type") == "catalyst":
+            el.set("residency", residency)
+    return ET.tostring(root, encoding="unicode")
+
+
 def cmd_run(args) -> int:
     from repro.insitu import Bridge
     from repro.nekrs import NekRSSolver
@@ -108,6 +119,8 @@ def cmd_run(args) -> int:
     )
     if args.compositing:
         config_xml = _inject_compositing(config_xml, args.compositing)
+    if args.residency:
+        config_xml = _inject_residency(config_xml, args.residency)
     outdir = Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
 
@@ -631,7 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_info
     )
 
-    run = sub.add_parser("run", help="run a case with in situ analysis")
+    run = sub.add_parser(
+        "run", aliases=["insitu"], help="run a case with in situ analysis"
+    )
     run.add_argument("--case", choices=_CASES, default="cavity")
     run.add_argument("--ranks", type=int, default=2)
     run.add_argument("--steps", type=int, default=None)
@@ -646,6 +661,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the parallel-rendering scheme of every "
                           "catalyst analysis (sort-last depth compositing "
                           "instead of gathering the volume to rank 0)")
+    run.add_argument("--residency", choices=("host", "device"), default=None,
+                     help="where every catalyst analysis keeps its working "
+                          "set: host copies fields over PCIe each step; "
+                          "device renders on the GPU and ships only the "
+                          "composited tile")
     run.set_defaults(fn=cmd_run)
 
     render = sub.add_parser("render", help="posthoc-render a .fld checkpoint")
@@ -759,9 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="use the smallest measurement workload")
     bench.add_argument("--gate", action="store_true",
-                       help="run the perf regression gate against BENCH_8.json "
+                       help="run the perf regression gate against BENCH_9.json "
                             "(includes the compositing, collectives, recovery, "
-                            "live-telemetry, and compression rows)")
+                            "live-telemetry, compression, and device-render "
+                            "rows)")
     bench.add_argument("--update-baseline", action="store_true",
                        help="refresh the gate baselines with current timings")
     bench.set_defaults(fn=cmd_bench)

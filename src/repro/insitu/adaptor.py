@@ -85,6 +85,16 @@ class NekDataAdaptor(DataAdaptor):
 
         self._host_cache: dict[str, np.ndarray] = {}
         self._resample_cache: dict[str, np.ndarray] = {}
+        from repro.perf.arena import WorkspaceArena
+
+        #: adaptor-private scratch pool for host mirrors of device
+        #: fields — step-scoped borrows (released in release_data) that
+        #: must not count against the shared per-thread arena
+        self.scratch_arena = WorkspaceArena()
+        self._host_borrowed: list[np.ndarray] = []
+        self._device_cache: dict[str, object] = {}
+        self._device_resample_cache: dict[str, object] = {}
+        self._device_borrowed: list[object] = []
         self.staging_bytes_current = 0
         self.staging_bytes_peak = 0
 
@@ -209,7 +219,15 @@ class NekDataAdaptor(DataAdaptor):
                     f"simulation provides no array {name!r}; have "
                     f"{sorted(self.solver.device_fields)}"
                 ) from None
-            out = device_mem.copy_to_host()
+            # D2H lands in recycled arena scratch: the gather path's
+            # steady-state loop allocates no fresh host mirrors.  The
+            # pool is adaptor-private, not the shared per-thread arena:
+            # these borrows live until release_data(), and callers that
+            # drive add_array outside a bridge step (tools, tests) must
+            # not leave the global arena's outstanding count nonzero.
+            out = self.scratch_arena.borrow(device_mem.shape, device_mem.dtype)
+            self._host_borrowed.append(out)
+            device_mem.copy_to_host(out=out)
         self._host_cache[name] = out
         self._charge_staging(out.nbytes)
         return out
@@ -248,11 +266,107 @@ class NekDataAdaptor(DataAdaptor):
             return
         raise KeyError(f"unknown mesh {mesh_name!r}")
 
+    # -- device residency ----------------------------------------------------
+    @property
+    def device(self):
+        """The solver's OCCA device (device-resident render path)."""
+        return self.solver.device
+
+    def _device_field(self, name: str):
+        """:class:`DeviceMemory` of a GLL field; derived fields are
+        computed by registered kernels into device-arena scratch —
+        nothing crosses PCIe."""
+        cached = self._device_cache.get(name)
+        if cached is not None:
+            return cached
+        from repro.occa.kernels import install_field_kernels
+
+        fields = install_field_kernels(self.device)
+        base = self.solver.device_fields.get(name)
+        if base is not None:
+            mem = base
+        elif name in ("velocity_magnitude", "vorticity_magnitude", "q_criterion"):
+            u = self._device_field("velocity_x")
+            v = self._device_field("velocity_y")
+            w = self._device_field("velocity_z")
+            mem = self.device.arena.borrow(u.shape, u.dtype)
+            self._device_borrowed.append(mem)
+            if name == "velocity_magnitude":
+                fields.magnitude(u, v, w, mem)
+            elif name == "vorticity_magnitude":
+                fields.vorticity_magnitude(self.solver.ops, u, v, w, mem)
+            else:
+                fields.q_criterion(self.solver.ops, u, v, w, mem)
+        else:
+            raise KeyError(
+                f"simulation provides no device array {name!r}; have "
+                f"{sorted(self.solver.device_fields)}"
+            )
+        self._device_cache[name] = mem
+        return mem
+
+    def _device_resample(self, name: str):
+        """Per-element uniform resampling, device-resident (E, s, s, s)."""
+        res = self._device_resample_cache.get(name)
+        if res is not None:
+            return res
+        from repro.occa.kernels import install_field_kernels
+
+        fields = install_field_kernels(self.device)
+        field = self._device_field(name)
+        s = self.samples
+        res = self.device.arena.borrow(
+            (self.solver.mesh.num_elements, s, s, s), np.float64
+        )
+        self._device_borrowed.append(res)
+        fields.resample(self.solver.mesh, field, s, res)
+        self._device_resample_cache[name] = res
+        return res
+
+    def device_uniform_fragments(self, arrays: tuple[str, ...]):
+        """Device twin of the uniform-mesh fragment walk.
+
+        Returns ``(global_dims, global_origin, global_spacing,
+        fragments)`` exactly like
+        :func:`repro.sensei.analyses.catalyst_adaptor.local_uniform_fragments`,
+        except every payload volume is a
+        :class:`~repro.occa.device.DeviceMemory` view — the resampled
+        working set never leaves the device, so the transfer ledger
+        records no per-field D2H for ``residency="device"``.
+        """
+        from repro.occa.device import DeviceMemory
+
+        s = self.samples
+        resampled = {name: self._device_resample(name) for name in arrays}
+        fragments = []
+        for e in range(self.solver.mesh.num_elements):
+            payload = {
+                name: DeviceMemory(self.device, resampled[name]._raw()[e])
+                for name in arrays
+            }
+            fragments.append(
+                (tuple(self._frag_origins[e]), (s, s, s), payload)
+            )
+        return (
+            self._global_dims,
+            np.asarray(self._global_origin, dtype=float),
+            np.asarray(self._frag_spacing, dtype=float),
+            fragments,
+        )
+
     def release_data(self) -> None:
         from repro.observe.session import get_telemetry
 
         self._host_cache.clear()
         self._resample_cache.clear()
+        if self._host_borrowed:
+            self.scratch_arena.release(*self._host_borrowed)
+            self._host_borrowed.clear()
+        self._device_cache.clear()
+        self._device_resample_cache.clear()
+        if self._device_borrowed:
+            self.device.arena.release(*self._device_borrowed)
+            self._device_borrowed.clear()
         self.staging_bytes_current = 0
         get_telemetry().memory.observe("sensei.staging", 0)
 

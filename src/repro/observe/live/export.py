@@ -70,6 +70,21 @@ def _ms(seconds: float) -> str:
     return f"{seconds * 1e3:.2f}"
 
 
+def _pcie_line(plane) -> str | None:
+    """The modeled PCIe traffic, when any rank has charged the link."""
+    from repro.util.sizes import format_bytes
+
+    metrics = plane.merged_metrics()
+    h2d = metrics.get("repro_pcie_h2d_bytes_total")
+    d2h = metrics.get("repro_pcie_d2h_bytes_total")
+    if h2d is None and d2h is None:
+        return None
+    return (
+        f"pcie: h2d {format_bytes(h2d.value if h2d else 0)}  "
+        f"d2h {format_bytes(d2h.value if d2h else 0)}"
+    )
+
+
 def render_top(plane, now: float | None = None) -> str:
     """One dashboard frame: stages, SLOs, alerts, the latest timeline."""
     plane.flush_all()
@@ -90,6 +105,11 @@ def render_top(plane, now: float | None = None) -> str:
             f"events {summary['events']}  dropped {summary['dropped_events']}  "
             f"bytes on wire {summary['bytes_on_wire']}"
         ),
+    ]
+    pcie = _pcie_line(plane)
+    if pcie:
+        lines.append(pcie)
+    lines += [
         "",
         f"{'stage':<10} {'p50 ms':>9} {'p99 ms':>9} {'max ms':>9} {'count':>7}",
     ]

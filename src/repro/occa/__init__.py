@@ -19,6 +19,16 @@ Two backends are provided:
     its cost accounting — faithful to the GPU production setup.
 """
 
+from repro.occa.arena import DeviceArena
 from repro.occa.device import Device, DeviceMemory, KernelError, TransferLedger
+from repro.occa.kernels import install_field_kernels, install_render_kernels
 
-__all__ = ["Device", "DeviceMemory", "KernelError", "TransferLedger"]
+__all__ = [
+    "Device",
+    "DeviceArena",
+    "DeviceMemory",
+    "KernelError",
+    "TransferLedger",
+    "install_field_kernels",
+    "install_render_kernels",
+]

@@ -133,6 +133,7 @@ class Device:
         self.pcie = pcie
         self.transfers = TransferLedger()
         self._kernels: dict[str, Callable] = {}
+        self._pcie_counters: tuple | None = None
         self.allocated_bytes = 0
 
     # -- memory ---------------------------------------------------------
@@ -157,6 +158,39 @@ class Device:
             return
         seconds = self.pcie.transfer_time(nbytes) if self.pcie else 0.0
         self.transfers.record(direction, nbytes, seconds)
+        from repro.observe.session import get_telemetry
+
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        # counters cached per telemetry session: _charge is on the
+        # per-copy hot path and must not pay a registry lookup each time
+        cached = self._pcie_counters
+        if cached is None or cached[0] is not tel:
+            cached = self._pcie_counters = (
+                tel,
+                {
+                    "h2d": tel.metrics.counter(
+                        "repro_pcie_h2d_bytes_total",
+                        "bytes moved host->device over the modeled PCIe link",
+                    ),
+                    "d2h": tel.metrics.counter(
+                        "repro_pcie_d2h_bytes_total",
+                        "bytes moved device->host over the modeled PCIe link",
+                    ),
+                },
+            )
+        cached[1][direction].inc(nbytes)
+
+    @property
+    def arena(self):
+        """Lazy per-device :class:`~repro.occa.arena.DeviceArena`."""
+        arena = getattr(self, "_arena", None)
+        if arena is None:
+            from repro.occa.arena import DeviceArena
+
+            arena = self._arena = DeviceArena(self)
+        return arena
 
     # -- kernels ----------------------------------------------------------
     def build_kernel(self, name: str, fn: Callable) -> Callable:
@@ -164,6 +198,17 @@ class Device:
         if name in self._kernels:
             raise KernelError(f"kernel {name!r} already built on this device")
         self._kernels[name] = fn
+        return self.kernel(name)
+
+    def ensure_kernel(self, name: str, fn: Callable) -> Callable:
+        """Idempotent :meth:`build_kernel`: reuse `name` if present.
+
+        Kernel libraries (``repro.occa.kernels``) install themselves on
+        first use and are re-requested every in situ step; rebuilding
+        would raise, so they register through this instead.
+        """
+        if name not in self._kernels:
+            self._kernels[name] = fn
         return self.kernel(name)
 
     def kernel(self, name: str) -> Callable:

@@ -3,7 +3,7 @@
 Runs the gated microbenchmarks twice — optimized and, via
 ``repro.perf.naive_mode``, on the retained reference paths — then
 compares the optimized timings against the committed baseline in
-``BENCH_8.json``.  A kernel that regresses more than
+``BENCH_9.json``.  A kernel that regresses more than
 ``THRESHOLD - 1`` (20%) against its recorded baseline fails the gate.
 
 The file keeps three numbers per kernel so the history stays honest:
@@ -32,7 +32,7 @@ from repro.perf.plans import get_plan_cache
 
 SCHEMA = "repro-bench-gate/1"
 THRESHOLD = 1.2
-BASELINE_FILE = "BENCH_8.json"
+BASELINE_FILE = "BENCH_9.json"
 
 
 # -- gated kernel workloads ---------------------------------------------
@@ -311,6 +311,19 @@ def _kernel_compression():
     return lambda: gate_step_seconds(compressed=perf_config.enabled())
 
 
+def _kernel_device_render():
+    from repro.bench.device_render import gate_step_seconds, measure_device_render
+    from repro.perf import config as perf_config
+
+    # modeled 1120-rank in situ overhead: optimized is the
+    # device-resident pipeline (tile-only D2H, no host staging, GPU
+    # render kernels, floor 1.5x reduction enforced inside); the
+    # reference is the host-resident gather.  The underlying pb146
+    # profile measurement is cached, so the warm-up pays once.
+    measure_device_render()
+    return lambda: gate_step_seconds(device=perf_config.enabled())
+
+
 KERNELS = {
     "gather_scatter_setup": _kernel_gather_scatter_setup,
     "stiffness_apply": _kernel_stiffness_apply,
@@ -324,6 +337,7 @@ KERNELS = {
     "recovery": _kernel_recovery,
     "live_telemetry": _kernel_live_telemetry,
     "compression": _kernel_compression,
+    "device_render": _kernel_device_render,
 }
 
 
@@ -405,7 +419,7 @@ def run_gate(
 ) -> GateReport:
     """Measure the gated kernels and compare against the baseline file.
 
-    Writes the refreshed ``BENCH_8.json`` (new kernels adopt their
+    Writes the refreshed ``BENCH_9.json`` (new kernels adopt their
     current timing as baseline; existing baselines are preserved unless
     `update_baseline`).
     """

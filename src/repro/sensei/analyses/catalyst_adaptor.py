@@ -73,6 +73,70 @@ def local_uniform_fragments(
     return gdims, gorigin, gspacing, fragments
 
 
+def gather_uniform_volume_device(
+    comm: Communicator,
+    data: DataAdaptor,
+    mesh_name: str,
+    arrays: tuple[str, ...],
+    device,
+):
+    """Device twin of :func:`gather_uniform_volume`.
+
+    Fragments come from the data adaptor's
+    ``device_uniform_fragments`` — :class:`DeviceMemory` payloads that
+    never crossed PCIe.  Raw device views travel rank-to-rank (modeled
+    GPUDirect: network-metered, never ledger-charged) and the root
+    scatters them into device-arena global volumes with the
+    ``catalyst.scatter`` kernel, zero-filled exactly like the host
+    path's ``np.zeros``.  Returns ``(image, borrowed)`` on the root —
+    `image` wraps raw device views, `borrowed` the arena buffers the
+    caller must release after rendering — and ``(None, [])`` elsewhere.
+    """
+    from repro.occa.device import DeviceMemory
+    from repro.occa.kernels import install_render_kernels
+
+    fetch = getattr(data, "device_uniform_fragments", None)
+    if fetch is None:
+        raise TypeError(
+            "residency='device' requires a device-capable data adaptor "
+            "(one providing device_uniform_fragments)"
+        )
+    gdims, gorigin, gspacing, fragments = fetch(arrays)
+    raw_frags = [
+        (
+            origin,
+            dims,
+            {
+                name: vol._raw() if isinstance(vol, DeviceMemory) else vol
+                for name, vol in payload.items()
+            },
+        )
+        for origin, dims, payload in fragments
+    ]
+    gathered = comm.gather(raw_frags)
+    if not comm.is_root:
+        return None, []
+
+    kern = install_render_kernels(device)
+    nx, ny, nz = gdims
+    image = ImageData(dims=gdims, origin=tuple(gorigin), spacing=tuple(gspacing))
+    borrowed = []
+    volumes = {}
+    for name in arrays:
+        mem = device.arena.borrow((nz, ny, nx), np.float64)
+        mem.fill(0.0)
+        borrowed.append(mem)
+        volumes[name] = mem
+    for chunk in gathered:
+        for origin, dims, payload in chunk:
+            off = np.rint((np.asarray(origin) - gorigin) / gspacing).astype(int)
+            for name, vol in payload.items():
+                kern.scatter(volumes[name], vol, tuple(int(x) for x in off))
+    for name, mem in volumes.items():
+        image.add_array(DataArray(name, mem._raw().reshape(-1)))
+    return image, borrowed
+
+
 def gather_uniform_volume(
     comm: Communicator,
     data: DataAdaptor,
@@ -118,11 +182,16 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
         mesh_name: str = "uniform",
         output_dir: Path | str = ".",
         compositing: str = "gather",
+        residency: str = "host",
     ):
         if compositing not in ("gather", "binary_swap", "direct_send"):
             raise ValueError(
                 f"compositing must be gather|binary_swap|direct_send, "
                 f"got {compositing!r}"
+            )
+        if residency not in ("host", "device"):
+            raise ValueError(
+                f"residency must be host|device, got {residency!r}"
             )
         self.comm = comm
         if isinstance(render, RenderPipeline):
@@ -136,7 +205,13 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
                 "sort-last compositing requires a declarative RenderPipeline "
                 "(pythonscript pipelines render on the assembled volume only)"
             )
+        if residency == "device" and self.pipeline is None:
+            raise ValueError(
+                "residency='device' requires a declarative RenderPipeline "
+                "(pythonscript pipelines expect host arrays)"
+            )
         self.compositing = compositing
+        self.residency = residency
         self.arrays = tuple(arrays)
         self.mesh_name = mesh_name
         self.output_dir = Path(output_dir)
@@ -162,11 +237,17 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
         mesh_name = attrs.get("mesh", "uniform")
         pipeline_kind = attrs.get("pipeline", "builtin")
         compositing = attrs.get("compositing", "gather")
+        residency = attrs.get("residency", "host")
         if pipeline_kind == "pythonscript":
             if compositing != "gather":
                 raise ValueError(
                     "compositing=... is only supported with the builtin "
                     "pipeline; pythonscript renders the assembled volume"
+                )
+            if residency != "host":
+                raise ValueError(
+                    "residency='device' is only supported with the builtin "
+                    "pipeline; pythonscript pipelines expect host arrays"
                 )
             filename = attrs.get("filename")
             if not filename:
@@ -212,7 +293,7 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
         arrays = tuple(dict.fromkeys([array, color_array]))
         return cls(
             comm, pipeline, arrays, mesh_name, output_dir,
-            compositing=compositing,
+            compositing=compositing, residency=residency,
         )
 
     # -- execution -----------------------------------------------------------
@@ -221,17 +302,32 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
         time = data.get_data_time()
         tel = get_telemetry()
         live = tel.live
+        device = None
+        if self.residency == "device":
+            device = getattr(data, "device", None)
+            if device is None:
+                raise TypeError(
+                    "residency='device' requires a device-capable data "
+                    "adaptor (one exposing its OCCA device)"
+                )
         if self.compositing != "gather" and self.comm.size > 1:
             # sort-last: render local fragments, composite framebuffers
             from repro.catalyst.compositor import render_composited
 
             t0 = perf_counter() if live.enabled else 0.0
             with self.watch.phase("gather"), tel.tracer.span(
-                "catalyst.fragments", step=step
+                "catalyst.fragments", step=step, residency=self.residency
             ):
-                gdims, gorigin, gspacing, fragments = local_uniform_fragments(
-                    data, self.mesh_name, self.arrays
-                )
+                if device is not None:
+                    gdims, gorigin, gspacing, fragments = (
+                        data.device_uniform_fragments(self.arrays)
+                    )
+                else:
+                    gdims, gorigin, gspacing, fragments = (
+                        local_uniform_fragments(
+                            data, self.mesh_name, self.arrays
+                        )
+                    )
             if live.enabled:
                 live.stage("composite", step, t0, perf_counter())
             local_bytes = sum(
@@ -239,7 +335,12 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
                 for _origin, _dims, payload in fragments
                 for vol in payload.values()
             )
-            self.peak_staging_bytes = max(self.peak_staging_bytes, local_bytes)
+            if device is None:
+                # host residency stages the resampled working set in
+                # host memory; device residency keeps it on the GPU
+                self.peak_staging_bytes = max(
+                    self.peak_staging_bytes, local_bytes
+                )
             tel.memory.observe("catalyst.framebuffer", local_bytes)
             t0 = perf_counter() if live.enabled else 0.0
             with self.watch.phase("render"), tel.tracer.span(
@@ -255,37 +356,62 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
                     step,
                     time,
                     method=self.compositing,
+                    device=device,
                 )
             if live.enabled:
                 live.stage("render", step, t0, perf_counter())
         else:
+            borrowed = []
             t0 = perf_counter() if live.enabled else 0.0
             with self.watch.phase("gather"), tel.tracer.span(
-                "catalyst.gather", step=step
+                "catalyst.gather", step=step, residency=self.residency
             ):
-                image = gather_uniform_volume(
-                    self.comm, data, self.mesh_name, self.arrays
-                )
+                if device is not None:
+                    image, borrowed = gather_uniform_volume_device(
+                        self.comm, data, self.mesh_name, self.arrays, device
+                    )
+                else:
+                    image = gather_uniform_volume(
+                        self.comm, data, self.mesh_name, self.arrays
+                    )
             if live.enabled:
                 live.stage("composite", step, t0, perf_counter())
             outputs = None
             if image is not None:
-                self.peak_staging_bytes = max(
-                    self.peak_staging_bytes, image.nbytes
-                )
+                if device is None:
+                    self.peak_staging_bytes = max(
+                        self.peak_staging_bytes, image.nbytes
+                    )
                 tel.memory.observe("catalyst.framebuffer", image.nbytes)
                 t0 = perf_counter() if live.enabled else 0.0
                 with self.watch.phase("render"), tel.tracer.span(
                     "catalyst.render", step=step
                 ):
-                    outputs = self.render(image, step, time)
+                    if device is not None:
+                        from repro.occa.device import DeviceMemory
+                        from repro.occa.kernels import install_render_kernels
+
+                        # whole-pipeline fused launch on the assembled
+                        # device volume; frames stay device-resident
+                        outputs = install_render_kernels(device).render(
+                            self.render, image, step, time
+                        )
+                        outputs = [
+                            (name, DeviceMemory(device, rgb))
+                            for name, rgb in outputs
+                        ]
+                    else:
+                        outputs = self.render(image, step, time)
                 if live.enabled:
                     live.stage("render", step, t0, perf_counter())
+            if borrowed:
+                device.arena.release(*borrowed)
         if outputs is not None:
             self.output_dir.mkdir(parents=True, exist_ok=True)
             with self.watch.phase("write"), tel.tracer.span("catalyst.write", step=step):
                 written = 0
                 for name, rgb in outputs:
+                    rgb = self._to_host_frame(rgb, step, tel)
                     t0 = perf_counter() if live.enabled else 0.0
                     data = encode_png(rgb)
                     if live.enabled:
@@ -308,3 +434,20 @@ class CatalystAnalysisAdaptor(AnalysisAdaptor):
                     "repro_catalyst_image_bytes_total", "PNG bytes written in situ"
                 ).inc(written)
         return True
+
+    def _to_host_frame(self, rgb, step: int, tel) -> "np.ndarray":
+        """Materialize one frame on the host for encoding.
+
+        Host residency: the frame already is a host array.  Device
+        residency: this is the *single* metered D2H of the step — the
+        composited tile, a few hundred KB, where the host path shipped
+        the full resampled working set — traced as ``catalyst.d2h``.
+        """
+        from repro.occa.device import DeviceMemory
+
+        if not isinstance(rgb, DeviceMemory):
+            return rgb
+        with tel.tracer.span("catalyst.d2h", step=step, nbytes=rgb.nbytes):
+            host = rgb.copy_to_host()
+        self.peak_staging_bytes = max(self.peak_staging_bytes, host.nbytes)
+        return host

@@ -25,6 +25,15 @@ from repro.parallel.runtime import dump_thread_stacks
 _DEFAULT_TEST_TIMEOUT = 300.0
 
 
+def pytest_collection_modifyitems(items):
+    # every test in the device-render module carries the `device`
+    # marker, so `-m device` selects the whole residency suite even if
+    # a new test class forgets the module-level pytestmark
+    for item in items:
+        if "test_device_render" in str(item.fspath):
+            item.add_marker(pytest.mark.device)
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     if item.config.pluginmanager.hasplugin("timeout"):

@@ -123,6 +123,42 @@ class TestPredictInsitu:
             predict_insitu_run(bad, POLARIS, 8, 1e4)
 
 
+class TestDeviceResidentReplay:
+    @pytest.fixture(scope="class")
+    def device_profile(self, tiny_case):
+        return measure_insitu_profile(
+            tiny_case, "catalyst_device", ranks=2, steps=2, interval=1,
+            image_size=64,
+        )
+
+    def test_no_staging_term(self, device_profile):
+        pred = predict_insitu_run(device_profile, POLARIS, 280, 19.8e6)
+        assert "staging" not in pred.seconds
+        assert {"solve", "collectives", "d2h", "render", "compositing"} <= set(
+            pred.seconds
+        )
+
+    def test_d2h_constant_under_strong_scaling(self, device_profile):
+        """The tile transfer is the same at every rank count — it is
+        not a function of gridpoints per rank."""
+        d280 = predict_insitu_run(device_profile, POLARIS, 280, 19.8e6)
+        d1120 = predict_insitu_run(device_profile, POLARIS, 1120, 19.8e6)
+        assert d280.seconds["d2h"] == d1120.seconds["d2h"]
+
+    def test_overhead_below_host_catalyst(self, profiles, device_profile):
+        base = predict_insitu_run(profiles["original"], POLARIS, 1120, 19.8e6)
+        cat = predict_insitu_run(profiles["catalyst"], POLARIS, 1120, 19.8e6)
+        dev = predict_insitu_run(device_profile, POLARIS, 1120, 19.8e6)
+        host_over = cat.total_seconds - base.total_seconds
+        dev_over = dev.total_seconds - base.total_seconds
+        assert 0 < dev_over < host_over
+
+    def test_memory_drops_host_staging(self, profiles, device_profile):
+        cat = predict_insitu_run(profiles["catalyst"], POLARIS, 280, 19.8e6)
+        dev = predict_insitu_run(device_profile, POLARIS, 280, 19.8e6)
+        assert dev.memory_per_rank_bytes < cat.memory_per_rank_bytes
+
+
 class TestPredictInTransit:
     @pytest.fixture(scope="class")
     def it_profiles(self):

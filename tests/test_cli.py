@@ -82,6 +82,42 @@ class TestRun:
         pngs = list((tmp_path / "out").glob("*.png"))
         assert len(pngs) == 2  # surface + slice at step 2
 
+    def test_inject_residency_targets_catalyst_only(self):
+        from repro.cli import _inject_residency
+
+        xml = (
+            '<sensei>'
+            '<analysis type="catalyst" array="pressure" isovalue="0.1"/>'
+            '<analysis type="histogram" array="pressure" bins="4"/>'
+            '</sensei>'
+        )
+        out = _inject_residency(xml, "device")
+        assert out.count('residency="device"') == 1
+        assert 'type="histogram" array="pressure" bins="4" residency' not in out
+
+    def test_insitu_alias_with_device_residency(self, tmp_path, capsys):
+        config = tmp_path / "sensei.xml"
+        config.write_text(
+            '<sensei><analysis type="catalyst" mesh="uniform" '
+            'array="velocity_magnitude" isovalue="0.2" slice_axis="y" '
+            'width="64" height="64" frequency="2"/></sensei>'
+        )
+        rc = main([
+            "insitu", "--case", "cavity", "--ranks", "2", "--steps", "2",
+            "--order", "3", "--config", str(config),
+            "--compositing", "binary_swap", "--residency", "device",
+            "--output", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        pngs = list((tmp_path / "out").glob("*.png"))
+        assert len(pngs) == 2  # surface + slice at step 2
+
+    def test_rejects_unknown_residency(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--residency", "gpu"])
+        err = capsys.readouterr().err
+        assert "--residency" in err and "host" in err and "device" in err
+
     def test_run_with_par_override(self, tmp_path, capsys):
         par = tmp_path / "case.par"
         par.write_text("[GENERAL]\nnumSteps = 1\npolynomialOrder = 2\n")

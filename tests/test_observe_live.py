@@ -530,14 +530,30 @@ class TestOverheadGovernor:
 
     @pytest.mark.perf
     def test_live_plane_overhead_under_5pct(self):
-        """Best-of-3 instrumented vs bare wall time (see BENCH_8.json)."""
+        """Median of 12 interleaved bare/instrumented pairs.
+
+        The shared-core container drifts between fast and slow phases
+        on a ~1 s timescale and throws occasional ~30 ms scheduler
+        spikes, so single pairs are coin flips and even best-of blocks
+        can land entirely in a bad phase; the median of a dozen
+        adjacent pairs is immune to both.  One re-measure is allowed —
+        a genuine >5% regression fails both medians, while a one-off
+        noise burst does not take down the suite.  The absolute
+        instrumented-run timing is pinned separately by the
+        ``live_telemetry`` gate row in BENCH_9.json.
+        """
         from repro.bench.live_telemetry import measure_overhead
 
-        out = measure_overhead(repeats=3)
-        assert out["timelines_complete"] >= 1
+        for _attempt in range(2):
+            out = measure_overhead(repeats=12)
+            assert out["timelines_complete"] >= 1
+            if out["overhead_ratio"] < 0.05:
+                break
         assert out["overhead_ratio"] < 0.05, (
-            f"live plane cost {out['overhead_ratio'] * 100:.2f}% "
-            f"(bare {out['off_s']:.3f}s vs instrumented {out['on_s']:.3f}s)"
+            f"live plane cost {out['overhead_ratio'] * 100:.2f}% median "
+            f"over {len(out['pair_ratios'])} pairs "
+            f"(floors: bare {out['off_s']:.3f}s, "
+            f"instrumented {out['on_s']:.3f}s)"
         )
 
 
