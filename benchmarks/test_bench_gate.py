@@ -1,7 +1,7 @@
 """Perf-gate benchmarks: the gated kernels through ``run_gate``.
 
 These are the same kernels ``python -m repro bench --gate`` times
-against ``BENCH_9.json``; running them under pytest (marked ``perf``)
+against ``BENCH_10.json``; running them under pytest (marked ``perf``)
 wires the gate into the benchmark suite so a CI lane can fail on
 regressions without shelling out to the CLI.
 """
@@ -92,6 +92,19 @@ def test_device_render_beats_host_residency(tmp_path):
         kernels={"device_render": KERNELS["device_render"]},
     )
     assert report.kernels["device_render"]["speedup"] >= 1.5
+
+
+def test_serving_mesh_beats_flat_fanout(tmp_path):
+    """The sharded relay mesh must beat the flat hub's inline
+    publisher fan-out on the same client population.  Floor of 1.5x
+    (48 clients on a loaded CI box); BENCH_10.json records ~4x, and
+    the margin widens with client count since publish is O(relays)
+    instead of O(clients)."""
+    report = run_gate(
+        path=tmp_path / "BENCH.json", repeats=1,
+        kernels={"serving_mesh": KERNELS["serving_mesh"]},
+    )
+    assert report.kernels["serving_mesh"]["speedup"] >= 1.5
 
 
 def test_gate_fails_on_synthetic_regression(tmp_path):

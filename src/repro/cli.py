@@ -278,6 +278,7 @@ def cmd_serve(args) -> int:
         FrameHub,
         HttpFrameServer,
         LoopbackClient,
+        ServeMesh,
         SteeringBus,
         attach_serving,
     )
@@ -307,8 +308,13 @@ def cmd_serve(args) -> int:
         router = HybridRouter(policy, mode=args.route)
 
     # hub and bus are shared-memory singletons across the rank threads,
-    # exactly like the SST broker in the in-transit topology
-    hub = FrameHub(history=args.history, max_clients=args.max_clients)
+    # exactly like the SST broker in the in-transit topology; --relays
+    # swaps in the sharded serving mesh (edge caches, relay placement)
+    if args.relays:
+        hub = ServeMesh(relays=args.relays, history=args.history,
+                        max_clients=args.max_clients)
+    else:
+        hub = FrameHub(history=args.history, max_clients=args.max_clients)
     bus = SteeringBus()
     server = None
     client = None
@@ -378,6 +384,8 @@ def cmd_serve(args) -> int:
     finally:
         if server is not None:
             server.stop()
+        if args.relays:
+            hub.close()     # stop the relay pump threads
     print(
         f"case {case.name}: {results[0]['steps']} steps"
         + (" (stopped by steering)" if results[0]["stopped"] else "")
@@ -709,6 +717,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "omit for in-process loopback mode")
     serve.add_argument("--history", type=int, default=32,
                        help="frames kept per stream for /replay")
+    serve.add_argument("--relays", type=int, default=0,
+                       help="serve through a ServeMesh with this many relay "
+                            "hubs (0 = the flat single-hub path); /status "
+                            "then reports the relay shard map")
     serve.add_argument("--max-clients", type=int, default=None,
                        help="refuse connections beyond this many clients")
     serve.add_argument("--output", default="serve_output")
@@ -779,7 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="use the smallest measurement workload")
     bench.add_argument("--gate", action="store_true",
-                       help="run the perf regression gate against BENCH_9.json "
+                       help="run the perf regression gate against BENCH_10.json "
                             "(includes the compositing, collectives, recovery, "
                             "live-telemetry, compression, and device-render "
                             "rows)")

@@ -85,6 +85,33 @@ def _pcie_line(plane) -> str | None:
     )
 
 
+def _serve_line(plane) -> str | None:
+    """The serving mesh, when a hub has mirrored cache/relay metrics."""
+    metrics = plane.merged_metrics()
+    hits = metrics.get("repro_serve_cache_hits_total")
+    misses = metrics.get("repro_serve_cache_misses_total")
+    relays = [
+        m for m in metrics
+        if m.name == "repro_serve_relay_clients"
+    ]
+    if hits is None and misses is None and not relays:
+        return None
+    h = int(hits.value) if hits else 0
+    m = int(misses.value) if misses else 0
+    total = h + m
+    rate = f"{h / total:.0%}" if total else "-"
+    line = f"serve: cache {h} hit / {m} miss ({rate})"
+    if relays:
+        per = "  ".join(
+            f"{r.const_labels.get('relay', '?')}:{int(r.value)}"
+            for r in sorted(
+                relays, key=lambda r: r.const_labels.get("relay", "")
+            )
+        )
+        line += f"  relays {per}"
+    return line
+
+
 def render_top(plane, now: float | None = None) -> str:
     """One dashboard frame: stages, SLOs, alerts, the latest timeline."""
     plane.flush_all()
@@ -109,6 +136,9 @@ def render_top(plane, now: float | None = None) -> str:
     pcie = _pcie_line(plane)
     if pcie:
         lines.append(pcie)
+    serve = _serve_line(plane)
+    if serve:
+        lines.append(serve)
     lines += [
         "",
         f"{'stage':<10} {'p50 ms':>9} {'p99 ms':>9} {'max ms':>9} {'count':>7}",

@@ -103,16 +103,24 @@ class Counter:
 
 
 class Gauge:
-    """Point-in-time value; `agg` picks the cross-rank combination."""
+    """Point-in-time value; `agg` picks the cross-rank combination.
+
+    Like counters, gauges accept `const_labels` (e.g.
+    ``{"relay": "2"}``): each label set is its own registry entry with
+    its own sample line — the per-relay client-count gauges of the
+    serving mesh use this.
+    """
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "", agg: str = "max"):
+    def __init__(self, name: str, help: str = "", agg: str = "max",
+                 const_labels: dict[str, str] | None = None):
         if agg not in _GAUGE_AGGS:
             raise ValueError(f"gauge agg must be one of {_GAUGE_AGGS}, got {agg!r}")
         self.name = _check_name(name)
         self.help = help
         self.agg = agg
+        self.const_labels = dict(const_labels or {})
         self.value = 0.0
         self._lock = threading.Lock()
 
@@ -139,11 +147,15 @@ class Gauge:
                 self.value = other.value
 
     def samples(self, labels: str) -> list[str]:
+        labels = _merge_label_str(labels, self.const_labels)
         return [f"{self.name}{labels} {_fmt(self.value)}"]
 
     def as_dict(self) -> dict:
-        return {"type": self.kind, "help": self.help, "agg": self.agg,
-                "value": self.value}
+        out = {"type": self.kind, "help": self.help, "agg": self.agg,
+               "value": self.value}
+        if self.const_labels:
+            out["labels"] = dict(self.const_labels)
+        return out
 
 
 class Histogram:
@@ -246,8 +258,10 @@ class MetricsRegistry:
         key = name + _render_labels(const_labels or {})
         return self._get_or_create(Counter, key, name, help, const_labels)
 
-    def gauge(self, name: str, help: str = "", agg: str = "max") -> Gauge:
-        return self._get_or_create(Gauge, name, name, help, agg)
+    def gauge(self, name: str, help: str = "", agg: str = "max",
+              const_labels: dict[str, str] | None = None) -> Gauge:
+        key = name + _render_labels(const_labels or {})
+        return self._get_or_create(Gauge, key, name, help, agg, const_labels)
 
     def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> Histogram:
         return self._get_or_create(Histogram, name, name, help, buckets)
@@ -276,7 +290,8 @@ class MetricsRegistry:
                 mine = self.counter(metric.name, metric.help,
                                     metric.const_labels or None)
             elif isinstance(metric, Gauge):
-                mine = self.gauge(metric.name, metric.help, metric.agg)
+                mine = self.gauge(metric.name, metric.help, metric.agg,
+                                  metric.const_labels or None)
             elif isinstance(metric, Histogram):
                 mine = self.histogram(metric.name, metric.help, metric.buckets)
             else:  # pragma: no cover - closed type set

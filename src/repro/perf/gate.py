@@ -3,7 +3,7 @@
 Runs the gated microbenchmarks twice — optimized and, via
 ``repro.perf.naive_mode``, on the retained reference paths — then
 compares the optimized timings against the committed baseline in
-``BENCH_9.json``.  A kernel that regresses more than
+``BENCH_10.json``.  A kernel that regresses more than
 ``THRESHOLD - 1`` (20%) against its recorded baseline fails the gate.
 
 The file keeps three numbers per kernel so the history stays honest:
@@ -32,7 +32,7 @@ from repro.perf.plans import get_plan_cache
 
 SCHEMA = "repro-bench-gate/1"
 THRESHOLD = 1.2
-BASELINE_FILE = "BENCH_9.json"
+BASELINE_FILE = "BENCH_10.json"
 
 
 # -- gated kernel workloads ---------------------------------------------
@@ -272,6 +272,43 @@ def _kernel_serving():
     return run
 
 
+def _kernel_serving_mesh():
+    from repro.serve import ServeMesh
+
+    from repro.bench.serving import synthetic_frames
+
+    # the same fan-out workload as `serving`, but through the sharded
+    # relay mesh: publish is O(relays) inbox appends and the per-client
+    # work happens on the relay pump threads.  Under naive_mode the
+    # ServeMesh snapshot routes through the flat FrameHub (per-client
+    # offers inline on the publisher, copy-per-client store path), so
+    # reference vs optimized is flat-hub vs mesh on identical frames.
+    payloads = synthetic_frames(count=8, size=96)
+    nclients, nframes = 48, 80
+
+    def run():
+        mesh = ServeMesh(
+            relays=4, history=16, default_depth=4, poll_interval_s=0.0005
+        )
+        for i in range(nclients):
+            mesh.connect(label=f"gate-{i}")
+        for i in range(nframes):
+            mesh.publish("gate", step=i, time=i * 1e-2,
+                         data=payloads[i % len(payloads)])
+        if not mesh.naive:
+            # publish returns before fan-out completes; the honest
+            # comparison waits until every relay has serviced the run
+            deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < deadline and any(
+                relay.pump.frames_ingested < nframes
+                for relay in mesh._relays.values()
+            ):
+                time.sleep(0.0002)
+        mesh.close()
+
+    return run
+
+
 def _kernel_recovery():
     from repro.bench.fleet import measure_recovery
 
@@ -334,6 +371,7 @@ KERNELS = {
     "collectives": _kernel_collectives,
     "compositing": _kernel_compositing,
     "serving": _kernel_serving,
+    "serving_mesh": _kernel_serving_mesh,
     "recovery": _kernel_recovery,
     "live_telemetry": _kernel_live_telemetry,
     "compression": _kernel_compression,
@@ -419,7 +457,7 @@ def run_gate(
 ) -> GateReport:
     """Measure the gated kernels and compare against the baseline file.
 
-    Writes the refreshed ``BENCH_9.json`` (new kernels adopt their
+    Writes the refreshed ``BENCH_10.json`` (new kernels adopt their
     current timing as baseline; existing baselines are preserved unless
     `update_baseline`).
     """

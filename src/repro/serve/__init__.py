@@ -21,12 +21,20 @@ Layering::
                  |                           +-- HttpFrameServer
          RenderPipeline params                      (asyncio)
 
+At scale the flat hub is replaced by the :class:`ServeMesh`: the
+publisher pushes each frame once to K :class:`RelayHub` shards
+(consistent-hash client placement, per-relay :class:`SessionPump`
+multiplexing, content-addressed :class:`EdgeCache` for replays and
+late joiners) — ``python -m repro serve --relays K``.
+
 Load-test it with :mod:`repro.bench.serving`; run it with
 ``python -m repro serve``.  See ``docs/serving.md``.
 """
 
-from repro.serve.framestore import Frame, FrameStore
+from repro.serve.framestore import EdgeCache, Frame, FrameStore
 from repro.serve.hub import FrameHub, HubFull
+from repro.serve.mesh import RelayHub, ServeMesh
+from repro.serve.pump import MeshSession, SessionPump
 from repro.serve.service import attach_serving
 from repro.serve.session import Session, SessionStats
 from repro.serve.steering import (
@@ -38,11 +46,16 @@ from repro.serve.steering import (
 from repro.serve.transport import HttpFrameServer, LoopbackClient
 
 __all__ = [
+    "EdgeCache",
     "Frame",
     "FrameStore",
     "FrameHub",
     "HubFull",
+    "MeshSession",
+    "RelayHub",
+    "ServeMesh",
     "Session",
+    "SessionPump",
     "SessionStats",
     "SteerCommand",
     "SteeringBus",

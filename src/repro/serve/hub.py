@@ -93,6 +93,7 @@ class FrameHub:
                 label=label,
                 clock=self._clock,
                 on_delivered=self._on_delivered,
+                on_close=self._reap,
             )
             self._sessions[sid] = session
             count = len(self._sessions)
@@ -105,7 +106,20 @@ class FrameHub:
         return session
 
     def disconnect(self, session: Session) -> None:
+        # closing fires the session's on_close hook, which releases the
+        # budget slot (see _reap); nothing else to do here
         session.close()
+
+    def _reap(self, session: Session) -> None:
+        """Release a closed session's budget slot *immediately*.
+
+        Fired by ``Session.close`` — whether the client went through
+        :meth:`disconnect` or its transport closed the session directly
+        (e.g. an HTTP stream dropping mid-publish).  Before this hook a
+        directly-closed session kept occupying a ``max_clients`` slot
+        until the next publish sweep noticed it; under churn that
+        refused new connections the budget actually had room for.
+        """
         with self._lock:
             self._sessions.pop(session.sid, None)
             count = len(self._sessions)

@@ -37,6 +37,11 @@ def attach_serving(
 ) -> SteeringEndpoint | None:
     """Wire `hub` (and optionally `bus`) into a configured analysis.
 
+    `hub` is anything with the FrameHub surface — the flat
+    :class:`~repro.serve.hub.FrameHub` or a
+    :class:`~repro.serve.mesh.ServeMesh`; a mesh additionally learns
+    the bus so steering can route through the client's relay.
+
     Returns the rank's :class:`SteeringEndpoint` (None when no bus).
     """
     catalysts = [
@@ -48,6 +53,8 @@ def attach_serving(
         adaptor.publisher = hub.publish
     if bus is None:
         return None
+    if hasattr(hub, "attach_bus"):
+        hub.attach_bus(bus)
     endpoint = SteeringEndpoint(
         comm if comm is not None else analysis.comm,
         bus,

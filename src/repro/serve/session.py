@@ -63,6 +63,7 @@ class Session:
         label: str = "",
         clock=_time.perf_counter,
         on_delivered=None,
+        on_close=None,
     ):
         if depth < 1:
             raise ValueError("depth must be >= 1")
@@ -79,6 +80,10 @@ class Session:
         self._last_enqueue = -float("inf")
         self._cond = threading.Condition()
         self._on_delivered = on_delivered
+        #: fires exactly once, the moment the session closes — the hub
+        #: uses it to release this client's budget slot immediately
+        #: instead of waiting for the next publish sweep
+        self._on_close = on_close
         self.closed = False
         self.stats = SessionStats()
 
@@ -170,5 +175,8 @@ class Session:
 
     def close(self) -> None:
         with self._cond:
+            already = self.closed
             self.closed = True
             self._cond.notify_all()
+        if not already and self._on_close is not None:
+            self._on_close(self)

@@ -124,6 +124,12 @@ class HttpFrameServer:
     ):
         self.hub = hub
         self.bus = bus
+        if bus is not None and getattr(hub, "bus", None) is None:
+            # a mesh learns the bus so /steer can route via the
+            # client's relay (no-op attribute on the flat hub)
+            attach = getattr(hub, "attach_bus", None)
+            if attach is not None:
+                attach(bus)
         #: attached :class:`~repro.observe.live.plane.LivePlane`; serves
         #: /metrics, /slo and /timeline (``/healthz`` works without one)
         self.live = live
@@ -288,8 +294,15 @@ class HttpFrameServer:
             status.update(self.status_provider())
         return status
 
+    def _latest(self, stream: str) -> Frame | None:
+        """Latest frame — via the mesh's edge tier when serving one."""
+        relay_latest = getattr(self.hub, "relay_latest", None)
+        if relay_latest is not None:
+            return relay_latest(stream, key=f"http-{stream}")
+        return self.hub.store.latest(stream)
+
     async def _serve_latest(self, writer, stream: str) -> None:
-        frame = self.hub.store.latest(stream)
+        frame = self._latest(stream)
         if frame is None:
             await self._respond(writer, 404, {"error": f"no frames for {stream!r}"})
             return
@@ -299,7 +312,12 @@ class HttpFrameServer:
     async def _serve_replay(self, writer, stream: str, query: dict) -> None:
         from repro.util.apng import ApngWriter
 
-        frames = self.hub.store.frames(stream)
+        relay_replay = getattr(self.hub, "relay_replay", None)
+        frames = (
+            relay_replay(stream, key=f"http-{stream}")
+            if relay_replay is not None
+            else self.hub.store.frames(stream)
+        )
         if not frames:
             await self._respond(writer, 404, {"error": f"no frames for {stream!r}"})
             return
@@ -333,7 +351,7 @@ class HttpFrameServer:
             )
             await writer.drain()
             # seed with the latest frame so a new client paints at once
-            latest = self.hub.store.latest(stream)
+            latest = self._latest(stream)
             if latest is not None:
                 await self._write_part(writer, latest)
             while not (self.hub.closed or session.closed or self._shutdown.is_set()):
@@ -371,10 +389,16 @@ class HttpFrameServer:
         except (ValueError, KeyError) as exc:
             await self._respond(writer, 400, {"error": f"bad steer payload: {exc}"})
             return
-        self.bus.submit(command)
-        await self._respond(
-            writer, 200, {"ok": True, "pending": self.bus.pending}
-        )
+        route_steer = getattr(self.hub, "route_steer", None)
+        relay = None
+        if route_steer is not None and getattr(self.hub, "bus", None) is not None:
+            relay = route_steer(command)
+        else:
+            self.bus.submit(command)
+        reply = {"ok": True, "pending": self.bus.pending}
+        if relay is not None:
+            reply["relay"] = relay
+        await self._respond(writer, 200, reply)
 
     # -- live telemetry routes ---------------------------------------------
     async def _serve_healthz(self, writer) -> None:

@@ -246,6 +246,31 @@ class TestFrameHub:
         with pytest.raises(HubFull):
             hub.connect()
 
+    def test_session_close_frees_the_slot_immediately(self):
+        # churn regression: a client that closes its own session (no
+        # hub.disconnect round-trip, e.g. a viewer dropping mid-publish)
+        # must release its budget slot at close time, not at the next
+        # hub sweep — otherwise reconnect churn wedges at max_clients
+        hub = FrameHub(max_clients=1)
+        s = hub.connect(label="churny")
+        hub.publish("s", 0, 0.0, _png(0))
+        s.close()
+        assert hub.clients == 0
+        hub.connect(label="churny")        # immediate reconnect: no raise
+
+    def test_mid_publish_disconnect_releases_budget(self):
+        # the disconnect lands between two publishes; the very next
+        # connect must succeed even though the hub never ran a sweep
+        hub = FrameHub(max_clients=2)
+        a = hub.connect(label="a")
+        b = hub.connect(label="b")
+        hub.publish("s", 0, 0.0, _png(0))
+        b.close()
+        c = hub.connect(label="c")
+        hub.publish("s", 1, 0.0, _png(1))
+        assert [f.step for f in a.drain()] == [0, 1]
+        assert [f.step for f in c.drain()] == [1]
+
     def test_stats_shape(self):
         hub = FrameHub()
         hub.connect(label="viewer")
